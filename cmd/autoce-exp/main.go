@@ -1,0 +1,161 @@
+// Command autoce-exp regenerates the paper's tables and figures. Each
+// experiment prints the same rows or series the paper reports, prefixed
+// with its identifier, and all experiments share one labeled corpus.
+//
+// Usage:
+//
+//	autoce-exp -run all            # every table and figure, default scale
+//	autoce-exp -run fig9,tab4      # a subset
+//	autoce-exp -scale quick        # smoke-test scale
+//	autoce-exp -out results.txt    # also write output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	name string
+	// needsCorpus experiments receive the shared corpus; others only the
+	// scale.
+	run func(c *experiments.Corpus, sc experiments.Scale) (fmt.Stringer, error)
+}
+
+// render adapts the experiment result types to fmt.Stringer.
+type rendered string
+
+func (r rendered) String() string { return string(r) }
+
+func wrap[T interface{ Render() string }](res T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return rendered(res.Render()), nil
+}
+
+var allRunners = []runner{
+	{"tab1", func(_ *experiments.Corpus, sc experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.TableI(sc))
+	}},
+	{"fig1", func(_ *experiments.Corpus, sc experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig1(sc))
+	}},
+	{"fig7", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig7(c))
+	}},
+	{"fig8", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig8(c))
+	}},
+	{"fig9", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig9(c))
+	}},
+	{"fig10", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig10(c))
+	}},
+	{"fig11a", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig11a(c))
+	}},
+	{"fig11b", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig11b(c))
+	}},
+	{"fig12", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig12(c))
+	}},
+	{"fig13", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.Fig13(c))
+	}},
+	{"tab2", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.TableII(c))
+	}},
+	{"tab3", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.TableIII(c))
+	}},
+	{"tab4", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.TableIV(c))
+	}},
+	{"tab5", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.TableV(c))
+	}},
+	{"abl-tau", func(c *experiments.Corpus, _ experiments.Scale) (fmt.Stringer, error) {
+		return wrap(experiments.AblationTau(c))
+	}},
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment ids (fig1,fig7..fig13,tab1..tab5,abl-tau) or 'all'")
+	scaleFlag := flag.String("scale", "default", "experiment scale: quick or default")
+	outFlag := flag.String("out", "", "optional output file (in addition to stdout)")
+	seedFlag := flag.Int64("seed", 1, "corpus seed")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+	sc.Seed = *seedFlag
+
+	want := map[string]bool{}
+	if *runFlag == "all" {
+		for _, r := range allRunners {
+			want[r.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	needsCorpus := false
+	for _, r := range allRunners {
+		if want[r.name] && r.name != "tab1" && r.name != "fig1" {
+			needsCorpus = true
+		}
+	}
+	var corpus *experiments.Corpus
+	if needsCorpus {
+		fmt.Fprintf(out, "Building corpus: %d train + %d test datasets, %d queries each...\n",
+			sc.TrainDatasets, sc.TestDatasets, sc.Queries)
+		t0 := time.Now()
+		var err error
+		corpus, err = experiments.BuildCorpus(sc)
+		if err != nil {
+			log.Fatalf("building corpus: %v", err)
+		}
+		fmt.Fprintf(out, "Corpus labeled in %v.\n\n", time.Since(t0).Round(time.Second))
+	}
+
+	for _, r := range allRunners {
+		if !want[r.name] {
+			continue
+		}
+		t0 := time.Now()
+		res, err := r.run(corpus, sc)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		fmt.Fprintf(out, "=== %s (%v) ===\n%s\n", r.name, time.Since(t0).Round(time.Millisecond), res)
+	}
+}

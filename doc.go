@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "AutoCE: An Accurate
+// and Efficient Model Advisor for Learned Cardinality Estimation" (Zhang,
+// Zhang, Li, Chai — ICDE 2023).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the measured
+// reproduction of every table and figure. The root package exists to host
+// the repository-level benchmark suite (bench_test.go); all functionality
+// lives under internal/ and is exercised through cmd/autoce,
+// cmd/autoce-exp, and the examples.
+package repro

@@ -1,0 +1,73 @@
+// Quickstart: the minimal end-to-end AutoCE loop.
+//
+// It generates a small corpus of synthetic datasets, labels them with the
+// CE testbed (training all seven candidate models per dataset), trains the
+// advisor with deep metric learning, and asks for a recommendation on a
+// fresh unseen dataset under two different metric weightings.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/feature"
+	"repro/internal/testbed"
+)
+
+func main() {
+	// 1. Generate a labeled corpus (Stage 1 of the paper).
+	sc := experiments.QuickScale()
+	sc.TrainDatasets = 20
+	sc.Queries = 80
+	featCfg := feature.DefaultConfig()
+
+	fmt.Println("Stage 1: generating and labeling 20 synthetic datasets...")
+	ds, err := datagen.GenerateCorpus(sc.TrainDatasets, 5, datagen.DefaultParams(1), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labeled, err := experiments.LabelDatasets(ds, sc, featCfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train the graph encoder with deep metric learning (Stage 2) and
+	// run one incremental-learning pass (Stage 3).
+	fmt.Println("Stages 2-3: deep metric learning + incremental learning...")
+	samples := make([]*core.Sample, len(labeled))
+	for i, ld := range labeled {
+		samples[i] = ld.Sample()
+	}
+	cfg := core.DefaultConfig(featCfg.VertexDim())
+	cfg.Epochs = 15
+	adv, err := core.Train(samples, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv.IncrementalLearn(core.DefaultILConfig())
+
+	// 3. Recommend for an unseen dataset (Stage 4) under two different
+	// user requirements.
+	p := datagen.DefaultParams(4242)
+	p.Tables = 3
+	target, err := datagen.Generate("unseen", p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := feature.Extract(target, featCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nStage 4: recommendations for %q (%d tables, %d rows)\n",
+		target.Name, target.NumTables(), target.TotalRows())
+	for _, wa := range []float64{1.0, 0.5} {
+		rec := adv.Recommend(g, wa)
+		fmt.Printf("  weights %3.0f%% accuracy / %3.0f%% efficiency -> %s\n",
+			wa*100, (1-wa)*100, testbed.ModelNames[rec.Model])
+	}
+}

@@ -1,0 +1,37 @@
+// Package advisor defines the common interface of model-selection
+// strategies and implements the paper's four selection baselines (Section
+// VII-A): MLP-based selection (GIN + 3-layer perceptron head trained with
+// cross-entropy), Rule-based selection, Knn-based selection on raw
+// features, and Sampling-based online selection. It also implements the
+// Learning-All online method of Figure 12 and the "Without DML" regression
+// head used by the Figure 11(a) ablation.
+package advisor
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/feature"
+)
+
+// Target is one dataset to select a CE model for. Graph must be the
+// feature graph of Dataset under the corpus-wide feature configuration.
+type Target struct {
+	Dataset *dataset.Dataset
+	Graph   *feature.Graph
+}
+
+// Selector recommends a CE model (testbed registry index) for a target
+// under an accuracy weight.
+type Selector interface {
+	Name() string
+	Select(t Target, wa float64) int
+}
+
+// TrainSample mirrors core.Sample for baselines that learn from the same
+// labeled corpus.
+type TrainSample struct {
+	Graph  *feature.Graph
+	Sa, Se []float64
+	// Tables records the source dataset's table count (the rule baseline
+	// keys on it).
+	Tables int
+}

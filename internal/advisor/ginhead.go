@@ -1,0 +1,137 @@
+package advisor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/feature"
+	"repro/internal/gnn"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// HeadLoss selects how the GIN+MLP selector is trained.
+type HeadLoss int
+
+const (
+	// HeadCrossEntropy is the paper's MLP-based selection baseline:
+	// classification of the best model with cross-entropy loss.
+	HeadCrossEntropy HeadLoss = iota
+	// HeadMSE is the "Without DML" ablation of Section VII-E: three fully
+	// connected layers regress the score vector with MSE loss; the argmax
+	// is the recommendation.
+	HeadMSE
+)
+
+// GINHeadConfig controls training of the GIN+MLP selector.
+type GINHeadConfig struct {
+	GNN    gnn.Config
+	Hidden int
+	Epochs int
+	Batch  int
+	LR     float64
+	Loss   HeadLoss
+	// WeightGrid lists the accuracy weights expanded into training
+	// examples; the weight is appended to the pooled embedding so one
+	// network serves every requirement combination.
+	WeightGrid []float64
+	Seed       int64
+}
+
+// DefaultGINHeadConfig returns the configuration used by the experiments.
+func DefaultGINHeadConfig(inDim int) GINHeadConfig {
+	return GINHeadConfig{
+		GNN:    gnn.DefaultConfig(inDim),
+		Hidden: 32, Epochs: 30, Batch: 24, LR: 2e-3,
+		Loss:       HeadCrossEntropy,
+		WeightGrid: []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Seed:       29,
+	}
+}
+
+// GINHead is a trained GIN encoder with a three-layer MLP head, the
+// architecture behind both the MLP baseline and the Without-DML ablation.
+type GINHead struct {
+	cfg  GINHeadConfig
+	enc  *gnn.Encoder
+	head *nn.MLP
+	out  int // number of models
+}
+
+// Name implements Selector.
+func (g *GINHead) Name() string {
+	if g.cfg.Loss == HeadMSE {
+		return "WithoutDML"
+	}
+	return "MLP"
+}
+
+// TrainGINHead fits the selector on the labeled corpus.
+func TrainGINHead(samples []*TrainSample, cfg GINHeadConfig) (*GINHead, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("advisor: no training samples")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numModels := len(samples[0].Sa)
+	gh := &GINHead{
+		cfg: cfg,
+		enc: gnn.New(cfg.GNN),
+		out: numModels,
+	}
+	// Head input: pooled embedding plus the accuracy weight.
+	gh.head = nn.NewMLP(rng,
+		[]int{cfg.GNN.OutDim + 1, cfg.Hidden, cfg.Hidden, numModels},
+		nn.ActReLU, nn.ActNone)
+
+	params := append(gh.enc.Params(), gh.head.Params()...)
+	opt := nn.NewAdam(params, cfg.LR)
+
+	type example struct {
+		si int
+		wa float64
+	}
+	var examples []example
+	for si := range samples {
+		for _, wa := range cfg.WeightGrid {
+			examples = append(examples, example{si, wa})
+		}
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(examples), func(i, j int) { examples[i], examples[j] = examples[j], examples[i] })
+		for start := 0; start < len(examples); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(examples) {
+				end = len(examples)
+			}
+			var losses []*nn.Tensor
+			for _, ex := range examples[start:end] {
+				s := samples[ex.si]
+				logits := gh.forward(s.Graph, ex.wa)
+				score := metrics.CombineScores(s.Sa, s.Se, ex.wa)
+				if cfg.Loss == HeadMSE {
+					losses = append(losses, nn.MSE(logits, score))
+				} else {
+					target := make([]float64, numModels)
+					target[metrics.ArgMax(score)] = 1
+					losses = append(losses, nn.SoftmaxCrossEntropy(logits, [][]float64{target}))
+				}
+			}
+			loss := nn.Scale(nn.SumScalars(losses...), 1/float64(len(losses)))
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return gh, nil
+}
+
+func (g *GINHead) forward(graph *feature.Graph, wa float64) *nn.Tensor {
+	emb := g.enc.Forward(graph)
+	waT := nn.FromRow([]float64{wa})
+	return g.head.Forward(nn.ConcatCols(emb, waT))
+}
+
+// Select implements Selector.
+func (g *GINHead) Select(t Target, wa float64) int {
+	out := g.forward(t.Graph, wa)
+	return metrics.ArgMax(out.Row(0))
+}

@@ -1,0 +1,285 @@
+// Package bayescard implements a Bayesian-network cardinality estimator in
+// the style of BayesCard (Wu et al., 2020), the paper's data-driven
+// baseline (5). The network structure is a Chow-Liu tree: the maximum
+// spanning tree of the pairwise mutual-information graph over the binned
+// join-sample columns. Conditional probability tables are estimated with
+// Laplace smoothing, and range queries run exact belief propagation on the
+// tree with interval evidence, marginalizing unqueried columns.
+package bayescard
+
+import (
+	"math"
+
+	"repro/internal/ce"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Config controls BN learning.
+type Config struct {
+	// MaxBins bounds per-column discretization.
+	MaxBins int
+	// Alpha is the Laplace smoothing pseudo-count.
+	Alpha float64
+}
+
+// DefaultConfig returns the configuration used by the testbed.
+func DefaultConfig() Config { return Config{MaxBins: 16, Alpha: 0.1} }
+
+// Model is a trained Chow-Liu tree Bayesian network.
+type Model struct {
+	cfg    Config
+	d      *dataset.Dataset
+	binner *ce.Binner
+	slots  map[[2]int]int
+	sizes  *ce.SubsetSizes
+
+	parent []int // parent column per column, -1 for the root
+	// prior[c][b] = P(c=b) for the root; cpt[c][pb*nbins(c)+b] =
+	// P(c=b | parent(c)=pb) for non-roots.
+	prior [][]float64
+	cpt   [][]float64
+	// children[c] lists c's children in the tree.
+	children [][]int
+	root     int
+
+	degenerate bool
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "BayesCard" }
+
+// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
+// precomputed join-subset sizes before training.
+func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
+
+// TrainData implements ce.DataDriven.
+func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+	if len(sample.Rows) == 0 {
+		m.degenerate = true
+		return nil
+	}
+	m.d = d
+	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
+	m.slots = ce.ColSlots(sample)
+	if m.sizes == nil {
+		m.sizes = ce.ComputeSubsetSizes(d)
+	}
+	rows := m.binner.BinRows(sample)
+	k := len(sample.Cols)
+
+	// Pairwise mutual information.
+	mi := make([][]float64, k)
+	for i := range mi {
+		mi[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := pairMI(rows, i, j, m.binner.NumBins(i), m.binner.NumBins(j))
+			mi[i][j], mi[j][i] = v, v
+		}
+	}
+
+	// Maximum spanning tree via Prim's algorithm.
+	m.root = 0
+	m.parent = make([]int, k)
+	inTree := make([]bool, k)
+	best := make([]float64, k)
+	from := make([]int, k)
+	for i := range best {
+		best[i] = -1
+		from[i] = -1
+		m.parent[i] = -1
+	}
+	inTree[m.root] = true
+	for j := 0; j < k; j++ {
+		if j != m.root {
+			best[j] = mi[m.root][j]
+			from[j] = m.root
+		}
+	}
+	for added := 1; added < k; added++ {
+		pick, pickVal := -1, -1.0
+		for j := 0; j < k; j++ {
+			if !inTree[j] && best[j] > pickVal {
+				pick, pickVal = j, best[j]
+			}
+		}
+		if pick == -1 {
+			break
+		}
+		inTree[pick] = true
+		m.parent[pick] = from[pick]
+		for j := 0; j < k; j++ {
+			if !inTree[j] && mi[pick][j] > best[j] {
+				best[j] = mi[pick][j]
+				from[j] = pick
+			}
+		}
+	}
+	m.children = make([][]int, k)
+	for c := 0; c < k; c++ {
+		if p := m.parent[c]; p >= 0 {
+			m.children[p] = append(m.children[p], c)
+		}
+	}
+
+	// Parameter estimation with Laplace smoothing.
+	m.prior = make([][]float64, k)
+	m.cpt = make([][]float64, k)
+	n := float64(len(rows))
+	for c := 0; c < k; c++ {
+		nb := m.binner.NumBins(c)
+		if m.parent[c] == -1 {
+			pr := make([]float64, nb)
+			for _, r := range rows {
+				pr[r[c]]++
+			}
+			for b := range pr {
+				pr[b] = (pr[b] + m.cfg.Alpha) / (n + m.cfg.Alpha*float64(nb))
+			}
+			m.prior[c] = pr
+			continue
+		}
+		p := m.parent[c]
+		np := m.binner.NumBins(p)
+		counts := make([]float64, np*nb)
+		pcounts := make([]float64, np)
+		for _, r := range rows {
+			counts[r[p]*nb+r[c]]++
+			pcounts[r[p]]++
+		}
+		tbl := make([]float64, np*nb)
+		for pb := 0; pb < np; pb++ {
+			for b := 0; b < nb; b++ {
+				tbl[pb*nb+b] = (counts[pb*nb+b] + m.cfg.Alpha) /
+					(pcounts[pb] + m.cfg.Alpha*float64(nb))
+			}
+		}
+		m.cpt[c] = tbl
+	}
+	return nil
+}
+
+func pairMI(rows [][]int, a, b, na, nb int) float64 {
+	joint := make([]float64, na*nb)
+	pa := make([]float64, na)
+	pb := make([]float64, nb)
+	n := float64(len(rows))
+	for _, r := range rows {
+		joint[r[a]*nb+r[b]]++
+		pa[r[a]]++
+		pb[r[b]]++
+	}
+	var mi float64
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			pij := joint[i*nb+j]
+			if pij == 0 {
+				continue
+			}
+			mi += pij / n * math.Log(pij*n/(pa[i]*pb[j]))
+		}
+	}
+	return mi
+}
+
+// evidenceProb returns P(evidence) by an upward message pass on the tree.
+// ranges maps column slot -> inclusive bin range; absent columns are
+// unconstrained.
+func (m *Model) evidenceProb(ranges map[int][2]int) float64 {
+	// upMsg(c) returns, for each bin value of c's parent, the probability
+	// of the evidence in c's subtree given that parent value. For the
+	// root it returns the total probability as a single value.
+	var up func(c int) []float64
+	up = func(c int) []float64 {
+		nb := m.binner.NumBins(c)
+		allowed := func(b int) bool {
+			r, ok := ranges[c]
+			if !ok {
+				return true
+			}
+			return b >= r[0] && b <= r[1]
+		}
+		// childFactor[b] = product over children of msg_child[b].
+		childFactor := make([]float64, nb)
+		for b := range childFactor {
+			childFactor[b] = 1
+		}
+		for _, ch := range m.children[c] {
+			msg := up(ch)
+			for b := 0; b < nb; b++ {
+				childFactor[b] *= msg[b]
+			}
+		}
+		if m.parent[c] == -1 {
+			total := 0.0
+			for b := 0; b < nb; b++ {
+				if allowed(b) {
+					total += m.prior[c][b] * childFactor[b]
+				}
+			}
+			return []float64{total}
+		}
+		np := m.binner.NumBins(m.parent[c])
+		msg := make([]float64, np)
+		for pb := 0; pb < np; pb++ {
+			var s float64
+			for b := 0; b < nb; b++ {
+				if allowed(b) {
+					s += m.cpt[c][pb*nb+b] * childFactor[b]
+				}
+			}
+			msg[pb] = s
+		}
+		return msg
+	}
+	return up(m.root)[0]
+}
+
+// Estimate implements ce.Estimator.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	if m.degenerate {
+		return 1
+	}
+	ranges, ok, unresolved := ce.QueryBinRanges(m.binner, m.slots, q)
+	if !ok {
+		return 1
+	}
+	p := m.evidenceProb(ranges)
+	for _, pr := range unresolved {
+		p *= uniformSel(m.d, pr)
+	}
+	est := p * float64(m.sizes.Size(q.Tables))
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
+	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
+	width := float64(hi-lo) + 1
+	if width <= 0 {
+		return 1
+	}
+	ovLo, ovHi := p.Lo, p.Hi
+	if lo > ovLo {
+		ovLo = lo
+	}
+	if hi < ovHi {
+		ovHi = hi
+	}
+	ov := float64(ovHi-ovLo) + 1
+	if ov <= 0 {
+		return 0
+	}
+	if ov > width {
+		ov = width
+	}
+	return ov / width
+}

@@ -1,0 +1,106 @@
+package ce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+// randomSample builds a join sample with one column of random values.
+func randomSample(rng *rand.Rand, n, domain int) *engine.JoinSample {
+	js := &engine.JoinSample{Cols: []engine.ColRef{{Table: 0, Col: 0}}}
+	for i := 0; i < n; i++ {
+		js.Rows = append(js.Rows, []int64{int64(1 + rng.Intn(domain))})
+	}
+	js.FullJoinSize = int64(n)
+	return js
+}
+
+func TestBinnerBinAlwaysInRange(t *testing.T) {
+	f := func(seed int64, rawDomain uint8, rawV int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		domain := 2 + int(rawDomain)%200
+		js := randomSample(rng, 100, domain)
+		b := NewBinner(js, 12)
+		bin := b.Bin(0, int64(rawV))
+		return bin >= 0 && bin < b.NumBins(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinnerValueMapsIntoItsBinRange(t *testing.T) {
+	// For any sampled value v, BinRange(v, v) must contain Bin(v).
+	f := func(seed int64, rawDomain uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		domain := 2 + int(rawDomain)%100
+		js := randomSample(rng, 150, domain)
+		b := NewBinner(js, 10)
+		for _, r := range js.Rows[:20] {
+			v := r[0]
+			lo, hi, ok := b.BinRange(0, v, v)
+			if !ok {
+				return false
+			}
+			bin := b.Bin(0, v)
+			if bin < lo || bin > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinnerRangeMonotone(t *testing.T) {
+	// Widening an interval never shrinks the bin range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		js := randomSample(rng, 200, 60)
+		b := NewBinner(js, 8)
+		lo1, hi1, ok1 := b.BinRange(0, 10, 20)
+		lo2, hi2, ok2 := b.BinRange(0, 5, 40)
+		if !ok1 || !ok2 {
+			return true // degenerate draws are fine
+		}
+		return lo2 <= lo1 && hi2 >= hi1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinRowsWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	js := randomSample(rng, 300, 500) // wide domain forces equi-depth bins
+	b := NewBinner(js, 16)
+	if b.NumBins(0) > 16+1 {
+		t.Fatalf("binner produced %d bins, cap 16", b.NumBins(0))
+	}
+	for _, r := range b.BinRows(js) {
+		if r[0] < 0 || r[0] >= b.NumBins(0) {
+			t.Fatalf("bin %d out of range", r[0])
+		}
+	}
+}
+
+func TestBinnerEquiDepthIsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	js := randomSample(rng, 2000, 1000)
+	b := NewBinner(js, 10)
+	counts := make([]int, b.NumBins(0))
+	for _, r := range js.Rows {
+		counts[b.Bin(0, r[0])]++
+	}
+	for bin, c := range counts {
+		frac := float64(c) / 2000
+		if frac > 0.25 { // ideal 0.1; allow slack for duplicate edges
+			t.Fatalf("bin %d holds %.0f%% of rows; equi-depth binning is broken", bin, frac*100)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package ce defines the common interface of the cardinality-estimation
+// model zoo (the paper's candidate set M = {M1..Mm}) and shared helpers for
+// the data-driven estimators: column binning over join samples and
+// per-join-subset unfiltered cardinalities.
+//
+// Three training modes exist, mirroring the paper's taxonomy:
+//
+//   - data-driven models (DeepDB, NeuroCard, BayesCard) learn a joint
+//     distribution from a sample of the full join of the base tables;
+//   - query-driven models (MSCN, LW-NN, LW-XGB) learn a mapping from
+//     encoded queries with true cardinalities;
+//   - hybrid models (UAE) use both.
+//
+// The PostgreSQL-style histogram estimator and the ensemble complete the
+// nine baselines of Section VII-A.
+package ce
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Estimator is a trained cardinality estimator.
+type Estimator interface {
+	// Name returns the model's short name (e.g. "MSCN").
+	Name() string
+	// Estimate returns the estimated cardinality of q (always >= 1).
+	Estimate(q *workload.Query) float64
+}
+
+// DataDriven estimators train on the dataset itself via a join sample.
+type DataDriven interface {
+	Estimator
+	TrainData(d *dataset.Dataset, sample *engine.JoinSample) error
+}
+
+// QueryDriven estimators train on labeled queries.
+type QueryDriven interface {
+	Estimator
+	TrainQueries(d *dataset.Dataset, train []*workload.Query) error
+}
+
+// Hybrid estimators train on both the data and labeled queries.
+type Hybrid interface {
+	Estimator
+	TrainBoth(d *dataset.Dataset, sample *engine.JoinSample, train []*workload.Query) error
+}
+
+// SizeAware is implemented by data-driven estimators that can accept a
+// precomputed SubsetSizes, letting the testbed share one computation across
+// the model zoo instead of each model enumerating join subsets itself.
+type SizeAware interface {
+	SetSubsetSizes(*SubsetSizes)
+}
+
+// SubsetKey canonically identifies a set of table indexes.
+func SubsetKey(tables []int) string {
+	s := append([]int(nil), tables...)
+	sort.Ints(s)
+	key := make([]byte, 0, len(s)*3)
+	for _, t := range s {
+		key = append(key, byte('0'+t/10), byte('0'+t%10), ',')
+	}
+	return string(key)
+}
+
+// SubsetSizes maps every connected table subset of d to its unfiltered
+// join cardinality. Data-driven estimators scale their learned join-space
+// selectivities by these sizes to answer queries over partial joins; the
+// original systems achieve the same with fanout bookkeeping, which this
+// precomputation substitutes at our scale.
+type SubsetSizes struct {
+	sizes map[string]int64
+	d     *dataset.Dataset
+}
+
+// ComputeSubsetSizes enumerates the connected subsets of d's join graph
+// (including singletons) and evaluates their unfiltered join sizes.
+func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
+	ss := &SubsetSizes{sizes: map[string]int64{}, d: d}
+	n := len(d.Tables)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var tables []int
+		for t := 0; t < n; t++ {
+			if mask&(1<<uint(t)) != 0 {
+				tables = append(tables, t)
+			}
+		}
+		if !connected(d, tables) {
+			continue
+		}
+		q := &engine.Query{Tables: tables}
+		for _, fk := range d.FKs {
+			if inSet(tables, fk.FromTable) && inSet(tables, fk.ToTable) {
+				q.Joins = append(q.Joins, engine.Join{
+					LeftTable: fk.FromTable, LeftCol: fk.FromCol,
+					RightTable: fk.ToTable, RightCol: fk.ToCol,
+				})
+			}
+		}
+		ss.sizes[SubsetKey(tables)] = engine.Cardinality(d, q)
+	}
+	return ss
+}
+
+// Size returns the unfiltered join size of the given tables; when the
+// subset was not precomputed (disconnected), it falls back to the product
+// of base-table sizes.
+func (ss *SubsetSizes) Size(tables []int) int64 {
+	if v, ok := ss.sizes[SubsetKey(tables)]; ok {
+		return v
+	}
+	prod := int64(1)
+	for _, t := range tables {
+		prod *= int64(ss.d.Tables[t].Rows())
+	}
+	return prod
+}
+
+func inSet(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func connected(d *dataset.Dataset, tables []int) bool {
+	if len(tables) <= 1 {
+		return true
+	}
+	adj := map[int][]int{}
+	for _, fk := range d.FKs {
+		if inSet(tables, fk.FromTable) && inSet(tables, fk.ToTable) {
+			adj[fk.FromTable] = append(adj[fk.FromTable], fk.ToTable)
+			adj[fk.ToTable] = append(adj[fk.ToTable], fk.FromTable)
+		}
+	}
+	seen := map[int]bool{tables[0]: true}
+	stack := []int{tables[0]}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[t] {
+			if !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return len(seen) == len(tables)
+}
+
+// Binner discretizes the columns of a join sample into small integer bins;
+// the SPN, Bayesian-network and autoregressive estimators all operate on
+// this discretized space.
+type Binner struct {
+	// Edges[j] holds ascending bin upper-bounds for sample column j; a
+	// value v maps to the first bin whose edge is >= v.
+	Edges [][]int64
+}
+
+// NewBinner builds a binner over sample columns with at most maxBins bins
+// per column. Columns with few distinct values get one bin per value;
+// others get approximate equi-depth bins.
+func NewBinner(sample *engine.JoinSample, maxBins int) *Binner {
+	b := &Binner{Edges: make([][]int64, len(sample.Cols))}
+	for j := range sample.Cols {
+		vals := make([]int64, 0, len(sample.Rows))
+		for _, r := range sample.Rows {
+			vals = append(vals, r[j])
+		}
+		b.Edges[j] = binEdges(vals, maxBins)
+	}
+	return b
+}
+
+func binEdges(vals []int64, maxBins int) []int64 {
+	if len(vals) == 0 {
+		return []int64{0}
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	distinct := sorted[:0:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			distinct = append(distinct, v)
+		}
+	}
+	if len(distinct) <= maxBins {
+		return distinct
+	}
+	// Equi-depth: one edge per quantile of the sorted values.
+	edges := make([]int64, 0, maxBins)
+	for i := 1; i <= maxBins; i++ {
+		pos := i*len(sorted)/maxBins - 1
+		e := sorted[pos]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	if edges[len(edges)-1] < sorted[len(sorted)-1] {
+		edges = append(edges, sorted[len(sorted)-1])
+	}
+	return edges
+}
+
+// NumBins returns the number of bins of column j.
+func (b *Binner) NumBins(j int) int { return len(b.Edges[j]) }
+
+// Bin maps a value of column j to its bin index; values above the last
+// edge map to the last bin.
+func (b *Binner) Bin(j int, v int64) int {
+	e := b.Edges[j]
+	idx := sort.Search(len(e), func(i int) bool { return e[i] >= v })
+	if idx >= len(e) {
+		idx = len(e) - 1
+	}
+	return idx
+}
+
+// BinRange returns the inclusive bin range [loBin, hiBin] overlapping the
+// value interval [lo, hi] on column j. ok is false when the interval is
+// entirely below the first edge boundary in a way that selects nothing.
+func (b *Binner) BinRange(j int, lo, hi int64) (loBin, hiBin int, ok bool) {
+	if hi < lo {
+		return 0, -1, false
+	}
+	e := b.Edges[j]
+	loBin = sort.Search(len(e), func(i int) bool { return e[i] >= lo })
+	if loBin >= len(e) {
+		return 0, -1, false
+	}
+	hiBin = sort.Search(len(e), func(i int) bool { return e[i] >= hi })
+	if hiBin >= len(e) {
+		hiBin = len(e) - 1
+	}
+	return loBin, hiBin, true
+}
+
+// BinRows converts sample rows to bin-index rows.
+func (b *Binner) BinRows(sample *engine.JoinSample) [][]int {
+	out := make([][]int, len(sample.Rows))
+	for i, r := range sample.Rows {
+		br := make([]int, len(r))
+		for j, v := range r {
+			br[j] = b.Bin(j, v)
+		}
+		out[i] = br
+	}
+	return out
+}
+
+// ColSlots maps every (table, col) of a join sample to its sample-column
+// slot; estimators use it to route query predicates to model columns.
+func ColSlots(sample *engine.JoinSample) map[[2]int]int {
+	m := make(map[[2]int]int, len(sample.Cols))
+	for j, cr := range sample.Cols {
+		m[[2]int{cr.Table, cr.Col}] = j
+	}
+	return m
+}
+
+// QueryBinRanges resolves a query's predicates to per-sample-column bin
+// ranges. Columns without predicates are absent from the map. The second
+// return is false when some predicate selects an empty range (estimate 0),
+// and the third lists predicates on columns outside the sample (key or FK
+// columns), which the caller must handle separately.
+func QueryBinRanges(b *Binner, slots map[[2]int]int, q *workload.Query) (map[int][2]int, bool, []engine.Predicate) {
+	ranges := map[int][2]int{}
+	var unresolved []engine.Predicate
+	for _, p := range q.Preds {
+		slot, okSlot := slots[[2]int{p.Table, p.Col}]
+		if !okSlot {
+			unresolved = append(unresolved, p)
+			continue
+		}
+		lo, hi, ok := b.BinRange(slot, p.Lo, p.Hi)
+		if !ok {
+			return nil, false, nil
+		}
+		if prev, exists := ranges[slot]; exists {
+			if lo < prev[0] {
+				lo = prev[0]
+			}
+			if hi > prev[1] {
+				hi = prev[1]
+			}
+			if lo > hi {
+				return nil, false, nil
+			}
+		}
+		ranges[slot] = [2]int{lo, hi}
+	}
+	return ranges, true, unresolved
+}

@@ -1,0 +1,70 @@
+// Package ensemble implements the paper's baseline (8): an ensemble
+// estimator returning the weighted average of all member estimates, with
+// weights proportional to each member's accuracy on the training workload
+// (inverse mean Q-error).
+package ensemble
+
+import (
+	"repro/internal/ce"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Model combines trained member estimators.
+type Model struct {
+	members []ce.Estimator
+	weights []float64
+}
+
+// New builds an ensemble over the (already trained) members, weighting
+// each by the inverse of its mean Q-error on the calibration queries.
+// With no calibration queries, members are weighted equally.
+func New(members []ce.Estimator, calibration []*workload.Query) *Model {
+	m := &Model{members: members, weights: make([]float64, len(members))}
+	if len(calibration) == 0 {
+		for i := range m.weights {
+			m.weights[i] = 1
+		}
+		return m
+	}
+	var total float64
+	for i, mem := range members {
+		ests := make([]float64, len(calibration))
+		truths := make([]float64, len(calibration))
+		for qi, q := range calibration {
+			ests[qi] = mem.Estimate(q)
+			truths[qi] = float64(q.TrueCard)
+		}
+		w := 1 / metrics.MeanQError(ests, truths)
+		m.weights[i] = w
+		total += w
+	}
+	for i := range m.weights {
+		m.weights[i] /= total
+	}
+	return m
+}
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "Ensemble" }
+
+// Estimate implements ce.Estimator as the weighted average of member
+// estimates.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	var est, wsum float64
+	for i, mem := range m.members {
+		est += m.weights[i] * mem.Estimate(q)
+		wsum += m.weights[i]
+	}
+	if wsum == 0 {
+		return 1
+	}
+	est /= wsum
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+// Weights exposes the calibrated member weights (for tests and reports).
+func (m *Model) Weights() []float64 { return append([]float64(nil), m.weights...) }

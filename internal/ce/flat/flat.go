@@ -1,0 +1,273 @@
+// Package flat implements an FSPN-style cardinality estimator in the
+// spirit of FLAT (Zhu et al., VLDB 2021), the data-driven model the
+// paper's related-work section highlights as one of the few that improve
+// PostgreSQL end-to-end. FLAT's defining idea is to *factorize
+// adaptively*: highly correlated attribute groups are modeled jointly
+// (multi-dimensional histograms), weakly correlated groups are split with
+// product nodes — avoiding both the SPN's deep sum hierarchies and the
+// full joint's blow-up.
+//
+// This estimator is not part of the default nine-model registry (which
+// mirrors the paper's evaluation); it exists to exercise the testbed's
+// extensibility path (testbed.RunWithModels) exactly as the paper
+// describes onboarding a newly emerged model.
+package flat
+
+import (
+	"math"
+
+	"repro/internal/ce"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Config controls FSPN learning.
+type Config struct {
+	// MaxBins bounds per-column discretization.
+	MaxBins int
+	// MIThreshold is the mutual-information cutoff: column pairs above it
+	// are forced into the same jointly-modeled group.
+	MIThreshold float64
+	// MaxGroupCols caps a joint group's width (joint histograms grow
+	// exponentially in it).
+	MaxGroupCols int
+	// Alpha is the Laplace smoothing pseudo-count per joint cell.
+	Alpha float64
+}
+
+// DefaultConfig returns the configuration used in tests and examples.
+func DefaultConfig() Config {
+	return Config{MaxBins: 12, MIThreshold: 0.15, MaxGroupCols: 3, Alpha: 0.05}
+}
+
+// group is one jointly modeled column set: a sparse joint histogram over
+// the group's bin tuples.
+type group struct {
+	cols   []int // sample column slots, ascending
+	counts map[string]float64
+	total  float64
+	// bins[i] is the bin count of cols[i], for smoothing volume.
+	bins []int
+}
+
+// Model is a trained FLAT-style estimator.
+type Model struct {
+	cfg    Config
+	d      *dataset.Dataset
+	binner *ce.Binner
+	slots  map[[2]int]int
+	sizes  *ce.SubsetSizes
+	groups []*group
+
+	degenerate bool
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "FLAT" }
+
+// SetSubsetSizes implements ce.SizeAware.
+func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
+
+// TrainData implements ce.DataDriven.
+func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+	if len(sample.Rows) == 0 {
+		m.degenerate = true
+		return nil
+	}
+	m.d = d
+	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
+	m.slots = ce.ColSlots(sample)
+	if m.sizes == nil {
+		m.sizes = ce.ComputeSubsetSizes(d)
+	}
+	rows := m.binner.BinRows(sample)
+	k := len(sample.Cols)
+
+	// Group columns: union-find over high-MI pairs, respecting the group
+	// width cap (widest pairs first would be ideal; simple order is fine
+	// at our scale).
+	parent := make([]int, k)
+	size := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if pairMI(rows, i, j, m.binner.NumBins(i), m.binner.NumBins(j)) < m.cfg.MIThreshold {
+				continue
+			}
+			ri, rj := find(i), find(j)
+			if ri == rj || size[ri]+size[rj] > m.cfg.MaxGroupCols {
+				continue
+			}
+			parent[rj] = ri
+			size[ri] += size[rj]
+		}
+	}
+	members := map[int][]int{}
+	for c := 0; c < k; c++ {
+		r := find(c)
+		members[r] = append(members[r], c)
+	}
+	for _, cols := range members {
+		g := &group{cols: cols, counts: map[string]float64{}}
+		for _, c := range cols {
+			g.bins = append(g.bins, m.binner.NumBins(c))
+		}
+		for _, r := range rows {
+			g.counts[groupKey(r, cols)]++
+			g.total++
+		}
+		m.groups = append(m.groups, g)
+	}
+	return nil
+}
+
+func groupKey(row []int, cols []int) string {
+	key := make([]byte, 0, len(cols)*2)
+	for _, c := range cols {
+		key = append(key, byte(row[c]>>8), byte(row[c]))
+	}
+	return string(key)
+}
+
+// prob returns the probability of the bin ranges under one group,
+// marginalizing unconstrained member columns: it sums the joint histogram
+// over all cells whose constrained coordinates fall in range.
+func (g *group) prob(ranges map[int][2]int, alpha float64) float64 {
+	constrained := false
+	for _, c := range g.cols {
+		if _, ok := ranges[c]; ok {
+			constrained = true
+			break
+		}
+	}
+	if !constrained {
+		return 1
+	}
+	// Smoothing: total cell volume for Laplace correction.
+	volume := 1.0
+	for _, nb := range g.bins {
+		volume *= float64(nb)
+	}
+	var hits float64
+	var hitCells float64
+	for key, cnt := range g.counts {
+		if g.keyInRanges(key, ranges) {
+			hits += cnt
+			hitCells++
+		}
+	}
+	// Allowed-region volume for the smoothing mass.
+	allowed := 1.0
+	for i, c := range g.cols {
+		if r, ok := ranges[c]; ok {
+			w := float64(r[1] - r[0] + 1)
+			if max := float64(g.bins[i]); w > max {
+				w = max
+			}
+			allowed *= w
+		} else {
+			allowed *= float64(g.bins[i])
+		}
+	}
+	return (hits + alpha*allowed) / (g.total + alpha*volume)
+}
+
+func (g *group) keyInRanges(key string, ranges map[int][2]int) bool {
+	for i, c := range g.cols {
+		bin := int(key[2*i])<<8 | int(key[2*i+1])
+		if r, ok := ranges[c]; ok {
+			if bin < r[0] || bin > r[1] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Estimate implements ce.Estimator: product over group probabilities,
+// scaled by the queried subset's unfiltered join size.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	if m.degenerate {
+		return 1
+	}
+	ranges, ok, unresolved := ce.QueryBinRanges(m.binner, m.slots, q)
+	if !ok {
+		return 1
+	}
+	p := 1.0
+	for _, g := range m.groups {
+		p *= g.prob(ranges, m.cfg.Alpha)
+	}
+	for _, pr := range unresolved {
+		p *= uniformSel(m.d, pr)
+	}
+	est := p * float64(m.sizes.Size(q.Tables))
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+// NumGroups exposes the factorization width for tests.
+func (m *Model) NumGroups() int { return len(m.groups) }
+
+func pairMI(rows [][]int, a, b, na, nb int) float64 {
+	joint := make([]float64, na*nb)
+	pa := make([]float64, na)
+	pb := make([]float64, nb)
+	n := float64(len(rows))
+	for _, r := range rows {
+		joint[r[a]*nb+r[b]]++
+		pa[r[a]]++
+		pb[r[b]]++
+	}
+	var mi float64
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			pij := joint[i*nb+j]
+			if pij == 0 {
+				continue
+			}
+			mi += pij / n * math.Log(pij*n/(pa[i]*pb[j]))
+		}
+	}
+	return mi
+}
+
+func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
+	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
+	width := float64(hi-lo) + 1
+	if width <= 0 {
+		return 1
+	}
+	ovLo, ovHi := p.Lo, p.Hi
+	if lo > ovLo {
+		ovLo = lo
+	}
+	if hi < ovHi {
+		ovHi = hi
+	}
+	ov := float64(ovHi-ovLo) + 1
+	if ov <= 0 {
+		return 0
+	}
+	if ov > width {
+		ov = width
+	}
+	return ov / width
+}

@@ -1,0 +1,80 @@
+// Package lwnn implements the LW-NN estimator (Dutt et al., VLDB 2019): a
+// lightweight fully connected network regressing log(1+cardinality) from a
+// flat query encoding. Its defining property in the paper's experiments is
+// extremely low inference latency (a single small forward pass), traded
+// against accuracy on complex join distributions.
+package lwnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Config controls LW-NN training.
+type Config struct {
+	Hidden1, Hidden2 int
+	Epochs           int
+	LR               float64
+	Seed             int64
+}
+
+// DefaultConfig returns the configuration used by the testbed. The network
+// is deliberately small ("lightweight"), matching the original design.
+func DefaultConfig() Config { return Config{Hidden1: 24, Hidden2: 12, Epochs: 30, LR: 5e-3, Seed: 2} }
+
+// Model is a trained LW-NN estimator.
+type Model struct {
+	cfg Config
+	enc *workload.Encoder
+	net *nn.MLP
+}
+
+// New returns an untrained LW-NN model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "LW-NN" }
+
+// TrainQueries implements ce.QueryDriven.
+func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
+	if len(train) == 0 {
+		return fmt.Errorf("lwnn: empty training workload")
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.enc = workload.NewEncoder(d)
+	m.net = nn.NewMLP(rng, []int{m.enc.Dim(), m.cfg.Hidden1, m.cfg.Hidden2, 1}, nn.ActReLU, nn.ActNone)
+	opt := nn.NewAdam(m.net.Params(), m.cfg.LR)
+
+	const batch = 16
+	order := rng.Perm(len(train))
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			rows := make([][]float64, 0, end-start)
+			targets := make([]float64, 0, end-start)
+			for _, qi := range order[start:end] {
+				rows = append(rows, m.enc.Encode(train[qi]))
+				targets = append(targets, workload.LogCard(train[qi].TrueCard))
+			}
+			x := nn.FromRows(rows)
+			loss := nn.MSE(m.net.Forward(x), targets)
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return nil
+}
+
+// Estimate implements ce.Estimator with a single forward pass.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	x := nn.FromRow(m.enc.Encode(q))
+	return workload.ExpCard(m.net.Forward(x).Scalar())
+}

@@ -1,0 +1,78 @@
+package lwnn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestTrainingImproves(t *testing.T) {
+	p := datagen.DefaultParams(1)
+	p.MinRows, p.MaxRows = 250, 400
+	d, err := datagen.Generate("l", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.Generate(d, workload.DefaultConfig(120, 2))
+	train, test := workload.Split(qs, 0.6, 3)
+	eval := func(m *Model) float64 {
+		ests := make([]float64, len(test))
+		truths := make([]float64, len(test))
+		for i, q := range test {
+			ests[i] = m.Estimate(q)
+			truths[i] = float64(q.TrueCard)
+		}
+		return metrics.MeanQError(ests, truths)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 0
+	untrained := New(cfg)
+	if err := untrained.TrainQueries(d, train); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Epochs = 20
+	trained := New(cfg)
+	if err := trained.TrainQueries(d, train); err != nil {
+		t.Fatal(err)
+	}
+	if eval(trained) >= eval(untrained) {
+		t.Fatalf("training did not improve: %g -> %g", eval(untrained), eval(trained))
+	}
+}
+
+func TestInferenceIsFast(t *testing.T) {
+	// LW-NN's defining property: single tiny forward pass. Guard against
+	// regressions that would destroy the latency ordering the paper's
+	// efficiency experiments rely on.
+	p := datagen.DefaultParams(4)
+	p.MinRows, p.MaxRows = 200, 300
+	d, _ := datagen.Generate("l", p)
+	qs := workload.Generate(d, workload.DefaultConfig(80, 5))
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m := New(cfg)
+	if err := m.TrainQueries(d, qs); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	const n = 500
+	for i := 0; i < n; i++ {
+		m.Estimate(qs[i%len(qs)])
+	}
+	perEst := time.Since(t0) / n
+	if perEst > time.Millisecond {
+		t.Fatalf("LW-NN inference %v per estimate; expected microseconds", perEst)
+	}
+}
+
+func TestEmptyWorkloadRejected(t *testing.T) {
+	p := datagen.DefaultParams(6)
+	p.MinRows, p.MaxRows = 100, 150
+	d, _ := datagen.Generate("l", p)
+	if err := New(DefaultConfig()).TrainQueries(d, nil); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}

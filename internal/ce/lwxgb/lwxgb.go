@@ -1,0 +1,58 @@
+// Package lwxgb implements the LW-XGB estimator (Dutt et al., VLDB 2019):
+// gradient-boosted regression trees over a flat query encoding, regressing
+// log(1+cardinality). It reuses the internal/gbt boosting substrate.
+package lwxgb
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/gbt"
+	"repro/internal/workload"
+)
+
+// Config controls LW-XGB training; it wraps the boosting configuration.
+type Config struct {
+	GBT gbt.Config
+}
+
+// DefaultConfig returns the configuration used by the testbed.
+func DefaultConfig() Config { return Config{GBT: gbt.DefaultConfig()} }
+
+// Model is a trained LW-XGB estimator.
+type Model struct {
+	cfg Config
+	enc *workload.Encoder
+	ens *gbt.Ensemble
+}
+
+// New returns an untrained LW-XGB model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "LW-XGB" }
+
+// TrainQueries implements ce.QueryDriven.
+func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
+	if len(train) == 0 {
+		return fmt.Errorf("lwxgb: empty training workload")
+	}
+	m.enc = workload.NewEncoder(d)
+	xs := make([][]float64, len(train))
+	ys := make([]float64, len(train))
+	for i, q := range train {
+		xs[i] = m.enc.Encode(q)
+		ys[i] = workload.LogCard(q.TrueCard)
+	}
+	ens, err := gbt.Train(xs, ys, m.cfg.GBT)
+	if err != nil {
+		return fmt.Errorf("lwxgb: %w", err)
+	}
+	m.ens = ens
+	return nil
+}
+
+// Estimate implements ce.Estimator.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	return workload.ExpCard(m.ens.Predict(m.enc.Encode(q)))
+}

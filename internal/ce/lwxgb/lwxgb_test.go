@@ -1,0 +1,82 @@
+package lwxgb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestTrainAndEstimate(t *testing.T) {
+	p := datagen.DefaultParams(1)
+	p.Tables = 2
+	p.MinRows, p.MaxRows = 250, 400
+	d, err := datagen.Generate("x", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.Generate(d, workload.DefaultConfig(150, 2))
+	train, test := workload.Split(qs, 0.6, 3)
+	m := New(DefaultConfig())
+	if err := m.TrainQueries(d, train); err != nil {
+		t.Fatal(err)
+	}
+	ests := make([]float64, len(test))
+	truths := make([]float64, len(test))
+	for i, q := range test {
+		ests[i] = m.Estimate(q)
+		truths[i] = float64(q.TrueCard)
+		if ests[i] < 1 || math.IsNaN(ests[i]) {
+			t.Fatalf("estimate %g", ests[i])
+		}
+	}
+	qe := metrics.MeanQError(ests, truths)
+	blind := func() float64 {
+		ones := make([]float64, len(test))
+		for i := range ones {
+			ones[i] = 1
+		}
+		return metrics.MeanQError(ones, truths)
+	}()
+	if qe >= blind {
+		t.Fatalf("LW-XGB mean Q-error %g no better than blind %g", qe, blind)
+	}
+}
+
+func TestMoreRoundsDoNotHurtTrainingFit(t *testing.T) {
+	p := datagen.DefaultParams(4)
+	p.MinRows, p.MaxRows = 200, 300
+	d, _ := datagen.Generate("x", p)
+	qs := workload.Generate(d, workload.DefaultConfig(100, 5))
+	evalTrainFit := func(rounds int) float64 {
+		cfg := DefaultConfig()
+		cfg.GBT.Rounds = rounds
+		m := New(cfg)
+		if err := m.TrainQueries(d, qs); err != nil {
+			t.Fatal(err)
+		}
+		ests := make([]float64, len(qs))
+		truths := make([]float64, len(qs))
+		for i, q := range qs {
+			ests[i] = m.Estimate(q)
+			truths[i] = float64(q.TrueCard)
+		}
+		return metrics.MeanQError(ests, truths)
+	}
+	few := evalTrainFit(5)
+	many := evalTrainFit(60)
+	if many > few*1.05 {
+		t.Fatalf("more boosting rounds worsened the training fit: %g -> %g", few, many)
+	}
+}
+
+func TestEmptyWorkloadRejected(t *testing.T) {
+	p := datagen.DefaultParams(6)
+	p.MinRows, p.MaxRows = 100, 150
+	d, _ := datagen.Generate("x", p)
+	if err := New(DefaultConfig()).TrainQueries(d, nil); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package mscn implements the Multi-Set Convolutional Network estimator
+// (Kipf et al., CIDR 2019), the paper's query-driven baseline (1). A query
+// is represented as three sets — tables, joins, predicates — each element
+// of which is embedded by a set-specific two-layer MLP; the embeddings are
+// average-pooled per set, concatenated, and passed through an output MLP
+// that regresses log(1+cardinality).
+package mscn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Config controls MSCN training.
+type Config struct {
+	Hidden int     // set-MLP and output-MLP hidden width
+	Epochs int     // training epochs over the query set
+	LR     float64 // Adam learning rate
+	Seed   int64
+}
+
+// DefaultConfig returns the configuration used by the testbed.
+func DefaultConfig() Config { return Config{Hidden: 32, Epochs: 24, LR: 5e-3, Seed: 1} }
+
+// Model is a trained MSCN estimator for one dataset.
+type Model struct {
+	cfg Config
+	enc *workload.Encoder
+
+	tableMLP *nn.MLP
+	joinMLP  *nn.MLP
+	predMLP  *nn.MLP
+	outMLP   *nn.MLP
+
+	// Per-element input dims.
+	tDim, jDim, pDim int
+}
+
+// New returns an untrained MSCN model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "MSCN" }
+
+// setElements builds the per-set element matrices for one query:
+// table rows are one-hots over tables, join rows one-hots over FK edges,
+// predicate rows (column one-hot, lo, hi).
+func (m *Model) setElements(q *workload.Query) (tables, joins, preds *nn.Tensor) {
+	tRows := make([][]float64, 0, len(q.Tables))
+	for _, ti := range q.Tables {
+		row := make([]float64, m.tDim)
+		row[ti] = 1
+		tRows = append(tRows, row)
+	}
+	tables = nn.FromRows(tRows)
+
+	flat := m.enc.Encode(q)
+	jBase := m.enc.TableDim()
+	jRows := make([][]float64, 0, 4)
+	for fi := 0; fi < m.jDim; fi++ {
+		if flat[jBase+fi] > 0 {
+			row := make([]float64, m.jDim)
+			row[fi] = 1
+			jRows = append(jRows, row)
+		}
+	}
+	if len(jRows) == 0 {
+		jRows = append(jRows, make([]float64, m.jDim)) // empty-set token
+	}
+	joins = nn.FromRows(jRows)
+
+	pBase := m.enc.TableDim() + m.enc.JoinDim()
+	nCols := m.enc.PredDim() / 3
+	pRows := make([][]float64, 0, len(q.Preds))
+	for slot := 0; slot < nCols; slot++ {
+		if flat[pBase+3*slot] > 0 {
+			row := make([]float64, nCols+2)
+			row[slot] = 1
+			row[nCols] = flat[pBase+3*slot+1]
+			row[nCols+1] = flat[pBase+3*slot+2]
+			pRows = append(pRows, row)
+		}
+	}
+	if len(pRows) == 0 {
+		pRows = append(pRows, make([]float64, nCols+2))
+	}
+	preds = nn.FromRows(pRows)
+	return tables, joins, preds
+}
+
+// forward computes the 1×1 log-cardinality prediction for one query.
+func (m *Model) forward(q *workload.Query) *nn.Tensor {
+	t, j, p := m.setElements(q)
+	tEmb := nn.MeanRows(m.tableMLP.Forward(t))
+	jEmb := nn.MeanRows(m.joinMLP.Forward(j))
+	pEmb := nn.MeanRows(m.predMLP.Forward(p))
+	return m.outMLP.Forward(nn.ConcatCols(tEmb, jEmb, pEmb))
+}
+
+func (m *Model) params() []*nn.Tensor {
+	var out []*nn.Tensor
+	out = append(out, m.tableMLP.Params()...)
+	out = append(out, m.joinMLP.Params()...)
+	out = append(out, m.predMLP.Params()...)
+	out = append(out, m.outMLP.Params()...)
+	return out
+}
+
+// TrainQueries implements ce.QueryDriven.
+func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
+	if len(train) == 0 {
+		return fmt.Errorf("mscn: empty training workload")
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.enc = workload.NewEncoder(d)
+	m.tDim = m.enc.TableDim()
+	m.jDim = m.enc.JoinDim()
+	if m.jDim == 0 {
+		m.jDim = 1
+	}
+	m.pDim = m.enc.PredDim()/3 + 2
+	h := m.cfg.Hidden
+	m.tableMLP = nn.NewMLP(rng, []int{m.tDim, h, h}, nn.ActReLU, nn.ActReLU)
+	m.joinMLP = nn.NewMLP(rng, []int{m.jDim, h, h}, nn.ActReLU, nn.ActReLU)
+	m.predMLP = nn.NewMLP(rng, []int{m.pDim, h, h}, nn.ActReLU, nn.ActReLU)
+	m.outMLP = nn.NewMLP(rng, []int{3 * h, h, 1}, nn.ActReLU, nn.ActNone)
+
+	opt := nn.NewAdam(m.params(), m.cfg.LR)
+	order := rng.Perm(len(train))
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, qi := range order {
+			q := train[qi]
+			pred := m.forward(q)
+			loss := nn.MSE(pred, []float64{workload.LogCard(q.TrueCard)})
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return nil
+}
+
+// Estimate implements ce.Estimator.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	return workload.ExpCard(m.forward(q).Scalar())
+}

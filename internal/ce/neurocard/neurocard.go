@@ -1,0 +1,334 @@
+// Package neurocard implements a deep autoregressive cardinality estimator
+// in the style of NeuroCard (Yang et al., VLDB 2021), the paper's
+// data-driven baseline (6). A MADE-style masked network factorizes the
+// joint distribution over the binned join-sample columns as
+// P(x1..xn) = Π P(xi | x<i); range queries are answered with progressive
+// sampling: draw S conditioned samples, accumulating the probability mass
+// of the allowed bins column by column.
+//
+// The per-query sampling loop makes inference structurally the slowest of
+// the model zoo — the property the paper's Figure 1(c) and Table V hinge
+// on for NeuroCard and UAE.
+package neurocard
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ce"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Config controls training and progressive sampling.
+type Config struct {
+	MaxBins int // per-column discretization bound
+	Hidden  int // hidden width of the masked network
+	Epochs  int
+	Batch   int
+	LR      float64
+	Samples int // progressive-sampling paths per query
+	Seed    int64
+}
+
+// DefaultConfig returns the configuration used by the testbed.
+func DefaultConfig() Config {
+	return Config{MaxBins: 12, Hidden: 40, Epochs: 6, Batch: 32, LR: 5e-3, Samples: 48, Seed: 4}
+}
+
+// Made is a two-layer MADE network over concatenated one-hot column
+// blocks; exported for reuse by the UAE hybrid estimator.
+type Made struct {
+	// Offsets[i] is the start of column i's block in the input/output.
+	Offsets []int
+	Bins    []int
+	InDim   int
+
+	W1, B1 *nn.Tensor
+	W2, B2 *nn.Tensor
+	mask1  []float64
+	mask2  []float64
+}
+
+// NewMade builds the masked network for the given per-column bin counts.
+// Hidden-unit degrees are assigned round-robin over [0, ncols-1); input
+// block of column c has degree c; output block of column c has degree c
+// and is connected only to hidden units with degree < c, so column 0's
+// logits depend on the bias alone and column i sees exactly columns < i.
+func NewMade(rng *rand.Rand, bins []int, hidden int) *Made {
+	m := &Made{Bins: bins}
+	for _, b := range bins {
+		m.Offsets = append(m.Offsets, m.InDim)
+		m.InDim += b
+	}
+	ncols := len(bins)
+	m.W1 = nn.XavierParam(rng, m.InDim, hidden)
+	m.B1 = nn.NewParam(1, hidden)
+	m.W2 = nn.XavierParam(rng, hidden, m.InDim)
+	m.B2 = nn.NewParam(1, m.InDim)
+
+	hDeg := make([]int, hidden)
+	for h := range hDeg {
+		if ncols > 1 {
+			hDeg[h] = h % (ncols - 1) // degrees 0..ncols-2
+		}
+	}
+	inDeg := make([]int, m.InDim)
+	outDeg := make([]int, m.InDim)
+	for c, off := range m.Offsets {
+		for j := 0; j < bins[c]; j++ {
+			inDeg[off+j] = c
+			outDeg[off+j] = c
+		}
+	}
+	m.mask1 = make([]float64, m.InDim*hidden)
+	for i := 0; i < m.InDim; i++ {
+		for h := 0; h < hidden; h++ {
+			if hDeg[h] >= inDeg[i] {
+				m.mask1[i*hidden+h] = 1
+			}
+		}
+	}
+	m.mask2 = make([]float64, hidden*m.InDim)
+	for h := 0; h < hidden; h++ {
+		for o := 0; o < m.InDim; o++ {
+			if outDeg[o] > hDeg[h] {
+				m.mask2[h*m.InDim+o] = 1
+			}
+		}
+	}
+	return m
+}
+
+// Forward returns the full logit matrix for a batch of one-hot rows.
+func (m *Made) Forward(x *nn.Tensor) *nn.Tensor {
+	h := nn.ReLU(nn.AddBias(nn.MaskedMatMul(x, m.W1, m.mask1), m.B1))
+	return nn.AddBias(nn.MaskedMatMul(h, m.W2, m.mask2), m.B2)
+}
+
+// Params returns the trainable tensors.
+func (m *Made) Params() []*nn.Tensor { return []*nn.Tensor{m.W1, m.B1, m.W2, m.B2} }
+
+// OneHotRow encodes a binned row into the network's input layout.
+func (m *Made) OneHotRow(binned []int) []float64 {
+	v := make([]float64, m.InDim)
+	for c, b := range binned {
+		v[m.Offsets[c]+b] = 1
+	}
+	return v
+}
+
+// ColumnDist returns the softmax distribution of column c's logits given
+// the (partially filled) one-hot input row.
+func (m *Made) ColumnDist(input []float64, c int) []float64 {
+	logits := m.Forward(nn.FromRow(input))
+	off, nb := m.Offsets[c], m.Bins[c]
+	out := make([]float64, nb)
+	maxv := math.Inf(-1)
+	for j := 0; j < nb; j++ {
+		if v := logits.V[off+j]; v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for j := 0; j < nb; j++ {
+		e := math.Exp(logits.V[off+j] - maxv)
+		out[j] = e
+		sum += e
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+	return out
+}
+
+// Model is a trained NeuroCard-style estimator.
+type Model struct {
+	cfg    Config
+	d      *dataset.Dataset
+	binner *ce.Binner
+	slots  map[[2]int]int
+	sizes  *ce.SubsetSizes
+	made   *Made
+	rng    *rand.Rand
+
+	degenerate bool
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "NeuroCard" }
+
+// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
+// precomputed join-subset sizes before training.
+func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
+
+// TrainData implements ce.DataDriven.
+func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+	if len(sample.Rows) == 0 {
+		m.degenerate = true
+		return nil
+	}
+	m.d = d
+	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
+	m.slots = ce.ColSlots(sample)
+	if m.sizes == nil {
+		m.sizes = ce.ComputeSubsetSizes(d)
+	}
+	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
+	rows := m.binner.BinRows(sample)
+
+	bins := make([]int, len(sample.Cols))
+	for j := range bins {
+		bins[j] = m.binner.NumBins(j)
+	}
+	m.made = NewMade(m.rng, bins, m.cfg.Hidden)
+	TrainMade(m.made, rows, m.cfg.Epochs, m.cfg.Batch, m.cfg.LR, m.rng)
+	return nil
+}
+
+// TrainMade fits a Made network to binned rows by maximum likelihood
+// (sum of per-column softmax cross-entropies). Exported for UAE.
+func TrainMade(made *Made, rows [][]int, epochs, batch int, lr float64, rng *rand.Rand) {
+	opt := nn.NewAdam(made.Params(), lr)
+	order := rng.Perm(len(rows))
+	ncols := len(made.Bins)
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			bsz := end - start
+			xs := make([][]float64, 0, bsz)
+			for _, ri := range order[start:end] {
+				xs = append(xs, made.OneHotRow(rows[ri]))
+			}
+			x := nn.FromRows(xs)
+			logits := made.Forward(x)
+			losses := make([]*nn.Tensor, 0, ncols)
+			for c := 0; c < ncols; c++ {
+				off, nb := made.Offsets[c], made.Bins[c]
+				block := nn.SliceCols(logits, off, off+nb)
+				targets := make([][]float64, bsz)
+				for bi, ri := range order[start:end] {
+					t := make([]float64, nb)
+					t[rows[ri][c]] = 1
+					targets[bi] = t
+				}
+				losses = append(losses, nn.SoftmaxCrossEntropy(block, targets))
+			}
+			loss := nn.SumScalars(losses...)
+			loss.Backward()
+			opt.Step()
+		}
+	}
+}
+
+// ProgressiveSample estimates the probability of the bin ranges under the
+// Made model with S sampling paths. Exported for UAE.
+func ProgressiveSample(made *Made, ranges map[int][2]int, samples int, rng *rand.Rand) float64 {
+	lastQueried := -1
+	for c := range ranges {
+		if c > lastQueried {
+			lastQueried = c
+		}
+	}
+	if lastQueried == -1 {
+		return 1
+	}
+	var total float64
+	for s := 0; s < samples; s++ {
+		input := make([]float64, made.InDim)
+		pathP := 1.0
+		for c := 0; c <= lastQueried; c++ {
+			dist := made.ColumnDist(input, c)
+			r, queried := ranges[c]
+			var mass float64
+			if queried {
+				for b := r[0]; b <= r[1] && b < len(dist); b++ {
+					mass += dist[b]
+				}
+				if mass <= 0 {
+					pathP = 0
+					break
+				}
+				pathP *= mass
+			} else {
+				mass = 1
+			}
+			// Sample a bin from the (restricted) distribution.
+			u := rng.Float64() * mass
+			var acc float64
+			pick := -1
+			loB, hiB := 0, len(dist)-1
+			if queried {
+				loB, hiB = r[0], r[1]
+				if hiB >= len(dist) {
+					hiB = len(dist) - 1
+				}
+			}
+			for b := loB; b <= hiB; b++ {
+				acc += dist[b]
+				if acc >= u {
+					pick = b
+					break
+				}
+			}
+			if pick == -1 {
+				pick = hiB
+			}
+			input[made.Offsets[c]+pick] = 1
+		}
+		total += pathP
+	}
+	return total / float64(samples)
+}
+
+// Estimate implements ce.Estimator via progressive sampling.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	if m.degenerate {
+		return 1
+	}
+	ranges, ok, unresolved := ce.QueryBinRanges(m.binner, m.slots, q)
+	if !ok {
+		return 1
+	}
+	p := ProgressiveSample(m.made, ranges, m.cfg.Samples, m.rng)
+	for _, pr := range unresolved {
+		p *= uniformSel(m.d, pr)
+	}
+	est := p * float64(m.sizes.Size(q.Tables))
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
+	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
+	width := float64(hi-lo) + 1
+	if width <= 0 {
+		return 1
+	}
+	ovLo, ovHi := p.Lo, p.Hi
+	if lo > ovLo {
+		ovLo = lo
+	}
+	if hi < ovHi {
+		ovHi = hi
+	}
+	ov := float64(ovHi-ovLo) + 1
+	if ov <= 0 {
+		return 0
+	}
+	if ov > width {
+		ov = width
+	}
+	return ov / width
+}

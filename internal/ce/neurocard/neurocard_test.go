@@ -1,0 +1,150 @@
+package neurocard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMadeMaskAutoregressive(t *testing.T) {
+	// Column c's logits must not depend on inputs of columns >= c.
+	rng := rand.New(rand.NewSource(1))
+	bins := []int{4, 3, 5}
+	m := NewMade(rng, bins, 16)
+
+	base := make([]float64, m.InDim)
+	base[m.Offsets[0]+1] = 1
+	base[m.Offsets[1]+2] = 1
+	base[m.Offsets[2]+0] = 1
+
+	distBefore := m.ColumnDist(base, 1)
+	// Perturb column 2's input (a later column): column 1's distribution
+	// must be unchanged.
+	perturbed := append([]float64(nil), base...)
+	perturbed[m.Offsets[2]+0] = 0
+	perturbed[m.Offsets[2]+4] = 1
+	distAfter := m.ColumnDist(perturbed, 1)
+	for i := range distBefore {
+		if math.Abs(distBefore[i]-distAfter[i]) > 1e-12 {
+			t.Fatalf("column 1 depends on column 2's input: %v vs %v", distBefore, distAfter)
+		}
+	}
+	// Column 0 must be input-independent entirely.
+	d0a := m.ColumnDist(base, 0)
+	d0b := m.ColumnDist(make([]float64, m.InDim), 0)
+	for i := range d0a {
+		if math.Abs(d0a[i]-d0b[i]) > 1e-12 {
+			t.Fatal("column 0 distribution depends on inputs")
+		}
+	}
+	// Column 2 must depend on earlier columns (masks not degenerate):
+	// check some weight into column 2's block survives the mask.
+	var liveMask bool
+	for h := 0; h < 16; h++ {
+		for o := m.Offsets[2]; o < m.Offsets[2]+bins[2]; o++ {
+			if m.mask2[h*m.InDim+o] == 1 {
+				liveMask = true
+			}
+		}
+	}
+	if !liveMask {
+		t.Fatal("column 2 has no unmasked hidden connections")
+	}
+}
+
+func TestColumnDistIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMade(rng, []int{3, 4}, 8)
+	input := make([]float64, m.InDim)
+	input[0] = 1
+	for c := 0; c < 2; c++ {
+		dist := m.ColumnDist(input, c)
+		var sum float64
+		for _, p := range dist {
+			if p < 0 {
+				t.Fatalf("negative probability %g", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("column %d distribution sums to %g", c, sum)
+		}
+	}
+}
+
+func TestTrainMadeLearnsMarginal(t *testing.T) {
+	// One 2-bin column, 90/10 split: after training, P(bin 0) ≈ 0.9.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]int, 500)
+	for i := range rows {
+		b := 0
+		if i%10 == 0 {
+			b = 1
+		}
+		rows[i] = []int{b}
+	}
+	m := NewMade(rng, []int{2}, 8)
+	TrainMade(m, rows, 20, 32, 0.05, rng)
+	dist := m.ColumnDist(make([]float64, m.InDim), 0)
+	if math.Abs(dist[0]-0.9) > 0.08 {
+		t.Fatalf("learned marginal P(bin0) = %g, want ~0.9", dist[0])
+	}
+}
+
+func TestTrainMadeLearnsConditional(t *testing.T) {
+	// Two perfectly coupled columns: P(x1 = x0) should dominate.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]int, 600)
+	for i := range rows {
+		b := rng.Intn(2)
+		rows[i] = []int{b, b}
+	}
+	m := NewMade(rng, []int{2, 2}, 16)
+	TrainMade(m, rows, 25, 32, 0.05, rng)
+	input := make([]float64, m.InDim)
+	input[m.Offsets[0]+1] = 1 // condition on x0 = 1
+	dist := m.ColumnDist(input, 1)
+	if dist[1] < 0.8 {
+		t.Fatalf("P(x1=1 | x0=1) = %g, want > 0.8", dist[1])
+	}
+}
+
+func TestProgressiveSampleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMade(rng, []int{4, 4}, 8)
+	// No constraints: probability 1.
+	if p := ProgressiveSample(m, nil, 10, rng); p != 1 {
+		t.Fatalf("unconstrained probability %g", p)
+	}
+	// Full-range constraints: probability ~1.
+	full := map[int][2]int{0: {0, 3}, 1: {0, 3}}
+	if p := ProgressiveSample(m, full, 20, rng); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("full-range probability %g", p)
+	}
+	// Constraints bound probability to [0,1].
+	partial := map[int][2]int{0: {0, 1}, 1: {2, 3}}
+	p := ProgressiveSample(m, partial, 30, rng)
+	if p < 0 || p > 1 {
+		t.Fatalf("probability %g outside [0,1]", p)
+	}
+}
+
+func TestProgressiveSampleMatchesMarginal(t *testing.T) {
+	// With one trained column, progressive sampling of {bin 0} should
+	// approximate the learned marginal probability.
+	rng := rand.New(rand.NewSource(6))
+	rows := make([][]int, 400)
+	for i := range rows {
+		b := 0
+		if i%4 == 0 {
+			b = 1
+		}
+		rows[i] = []int{b}
+	}
+	m := NewMade(rng, []int{2}, 8)
+	TrainMade(m, rows, 20, 32, 0.05, rng)
+	p := ProgressiveSample(m, map[int][2]int{0: {0, 0}}, 50, rng)
+	if math.Abs(p-0.75) > 0.1 {
+		t.Fatalf("sampled P(bin0) = %g, want ~0.75", p)
+	}
+}

@@ -1,0 +1,145 @@
+// Package pglike implements a PostgreSQL-style cardinality estimator: per-
+// column equi-depth histograms with distinct counts, attribute-value
+// independence across predicates, and the textbook PK-FK join selectivity
+// 1/max(ndv_left, ndv_right). It is baseline (9) of the paper's Section
+// VII-A ("a default PostgreSQL CE estimator") and also serves as the cost
+// model's default inside the simulated optimizer.
+package pglike
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Histogram is an equi-depth histogram over one column.
+type Histogram struct {
+	// Bounds holds ascending bucket upper bounds; bucket i covers
+	// (Bounds[i-1], Bounds[i]] with Bounds[-1] = Min-1.
+	Bounds []int64
+	Min    int64
+	Rows   int
+	NDV    int
+}
+
+// NewHistogram builds an equi-depth histogram with at most buckets buckets.
+func NewHistogram(data []int64, buckets int) *Histogram {
+	h := &Histogram{Rows: len(data)}
+	if len(data) == 0 {
+		return h
+	}
+	sorted := append([]int64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h.Min = sorted[0]
+	ndv := 1
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			ndv++
+		}
+	}
+	h.NDV = ndv
+	for i := 1; i <= buckets; i++ {
+		pos := i*len(sorted)/buckets - 1
+		if pos < 0 {
+			continue // fewer rows than buckets
+		}
+		b := sorted[pos]
+		if len(h.Bounds) == 0 || b > h.Bounds[len(h.Bounds)-1] {
+			h.Bounds = append(h.Bounds, b)
+		}
+	}
+	return h
+}
+
+// Selectivity estimates the fraction of rows with value in [lo, hi],
+// interpolating linearly within partially covered buckets.
+func (h *Histogram) Selectivity(lo, hi int64) float64 {
+	if h.Rows == 0 || len(h.Bounds) == 0 || hi < lo {
+		return 0
+	}
+	frac := 1.0 / float64(len(h.Bounds))
+	var total float64
+	prev := h.Min - 1
+	for _, b := range h.Bounds {
+		bl, bh := prev+1, b
+		prev = b
+		if bh < lo || bl > hi {
+			continue
+		}
+		ol := lo
+		if bl > ol {
+			ol = bl
+		}
+		oh := hi
+		if bh < oh {
+			oh = bh
+		}
+		width := float64(bh - bl + 1)
+		if width <= 0 {
+			width = 1
+		}
+		total += frac * float64(oh-ol+1) / width
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// Model is a trained PostgreSQL-style estimator for one dataset.
+type Model struct {
+	d     *dataset.Dataset
+	hists [][]*Histogram // [table][col]
+	// Buckets is the per-column histogram resolution (default 32).
+	Buckets int
+}
+
+// New returns an untrained model.
+func New() *Model { return &Model{Buckets: 32} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "Postgres" }
+
+// TrainData builds histograms for every column. The join sample is unused:
+// like the real system, this model relies only on per-table statistics.
+func (m *Model) TrainData(d *dataset.Dataset, _ *engine.JoinSample) error {
+	m.d = d
+	m.hists = make([][]*Histogram, len(d.Tables))
+	for ti, t := range d.Tables {
+		m.hists[ti] = make([]*Histogram, t.NumCols())
+		for ci, c := range t.Cols {
+			m.hists[ti][ci] = NewHistogram(c.Data, m.Buckets)
+		}
+	}
+	return nil
+}
+
+// Estimate implements ce.Estimator using independence across predicates
+// and 1/max(ndv) per join edge.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	card := 1.0
+	for _, ti := range q.Tables {
+		card *= float64(m.d.Tables[ti].Rows())
+	}
+	for _, p := range q.Preds {
+		card *= m.hists[p.Table][p.Col].Selectivity(p.Lo, p.Hi)
+	}
+	for _, j := range q.Joins {
+		l := m.hists[j.LeftTable][j.LeftCol].NDV
+		r := m.hists[j.RightTable][j.RightCol].NDV
+		maxNDV := l
+		if r > maxNDV {
+			maxNDV = r
+		}
+		if maxNDV < 1 {
+			maxNDV = 1
+		}
+		card /= float64(maxNDV)
+	}
+	if card < 1 {
+		return 1
+	}
+	return card
+}

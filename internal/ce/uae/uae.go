@@ -1,0 +1,204 @@
+// Package uae implements a hybrid estimator in the style of UAE (Wu &
+// Cong, SIGMOD 2021), the paper's baseline (7): a deep autoregressive data
+// model unified with query-driven learning. The data side reuses the
+// NeuroCard MADE network; the query side trains a small residual network on
+// the labeled training queries to correct the autoregressive estimate —
+// the pure-Go stand-in for UAE's differentiable progressive sampling
+// (Gumbel-Softmax), which lets query supervision reach the density model.
+//
+// Inference runs the full progressive-sampling loop plus the correction
+// forward pass, making UAE marginally slower than NeuroCard, as in the
+// paper's latency measurements.
+package uae
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/ce"
+	"repro/internal/ce/neurocard"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/workload"
+)
+
+// Config controls both training phases.
+type Config struct {
+	MaxBins int
+	Hidden  int
+	Epochs  int
+	Batch   int
+	LR      float64
+	Samples int
+	// CorrHidden and CorrEpochs control the query-residual network.
+	CorrHidden int
+	CorrEpochs int
+	CorrLR     float64
+	Seed       int64
+}
+
+// DefaultConfig returns the configuration used by the testbed.
+func DefaultConfig() Config {
+	return Config{
+		MaxBins: 12, Hidden: 40, Epochs: 6, Batch: 32, LR: 5e-3, Samples: 48,
+		CorrHidden: 16, CorrEpochs: 20, CorrLR: 5e-3, Seed: 5,
+	}
+}
+
+// Model is a trained UAE estimator.
+type Model struct {
+	cfg    Config
+	d      *dataset.Dataset
+	binner *ce.Binner
+	slots  map[[2]int]int
+	sizes  *ce.SubsetSizes
+	made   *neurocard.Made
+	rng    *rand.Rand
+
+	enc  *workload.Encoder
+	corr *nn.MLP
+
+	degenerate bool
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Name implements ce.Estimator.
+func (m *Model) Name() string { return "UAE" }
+
+// arEstimate is the pure data-driven estimate (before correction).
+func (m *Model) arEstimate(q *workload.Query) float64 {
+	if m.degenerate {
+		return 1
+	}
+	ranges, ok, unresolved := ce.QueryBinRanges(m.binner, m.slots, q)
+	if !ok {
+		return 1
+	}
+	p := neurocard.ProgressiveSample(m.made, ranges, m.cfg.Samples, m.rng)
+	for _, pr := range unresolved {
+		p *= uniformSel(m.d, pr)
+	}
+	est := p * float64(m.sizes.Size(q.Tables))
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
+// precomputed join-subset sizes before training.
+func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
+
+// TrainBoth implements ce.Hybrid: phase one fits the autoregressive data
+// model; phase two fits the residual corrector on the labeled queries.
+func (m *Model) TrainBoth(d *dataset.Dataset, sample *engine.JoinSample, train []*workload.Query) error {
+	if len(sample.Rows) == 0 {
+		m.degenerate = true
+		return nil
+	}
+	m.d = d
+	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
+	m.slots = ce.ColSlots(sample)
+	if m.sizes == nil {
+		m.sizes = ce.ComputeSubsetSizes(d)
+	}
+	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
+	rows := m.binner.BinRows(sample)
+	bins := make([]int, len(sample.Cols))
+	for j := range bins {
+		bins[j] = m.binner.NumBins(j)
+	}
+	m.made = neurocard.NewMade(m.rng, bins, m.cfg.Hidden)
+	neurocard.TrainMade(m.made, rows, m.cfg.Epochs, m.cfg.Batch, m.cfg.LR, m.rng)
+
+	if len(train) == 0 {
+		return nil // degenerate to pure data-driven
+	}
+	m.enc = workload.NewEncoder(d)
+	m.corr = nn.NewMLP(m.rng, []int{m.enc.Dim(), m.cfg.CorrHidden, 1}, nn.ActReLU, nn.ActNone)
+	// Residual targets: log(true) - log(AR estimate), clamped to keep the
+	// corrector from memorizing outliers.
+	xs := make([][]float64, 0, len(train))
+	ys := make([]float64, 0, len(train))
+	for _, q := range train {
+		ar := m.arEstimate(q)
+		r := workload.LogCard(q.TrueCard) - math.Log1p(ar-1)
+		if r > 4 {
+			r = 4
+		}
+		if r < -4 {
+			r = -4
+		}
+		xs = append(xs, m.enc.Encode(q))
+		ys = append(ys, r)
+	}
+	opt := nn.NewAdam(m.corr.Params(), m.cfg.CorrLR)
+	order := m.rng.Perm(len(xs))
+	const batch = 16
+	for epoch := 0; epoch < m.cfg.CorrEpochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			rows := make([][]float64, 0, end-start)
+			targets := make([]float64, 0, end-start)
+			for _, i := range order[start:end] {
+				rows = append(rows, xs[i])
+				targets = append(targets, ys[i])
+			}
+			loss := nn.MSE(m.corr.Forward(nn.FromRows(rows)), targets)
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return nil
+}
+
+// Estimate implements ce.Estimator: AR estimate times the learned
+// correction factor.
+func (m *Model) Estimate(q *workload.Query) float64 {
+	ar := m.arEstimate(q)
+	if m.corr == nil {
+		return ar
+	}
+	r := m.corr.Forward(nn.FromRow(m.enc.Encode(q))).Scalar()
+	if r > 4 {
+		r = 4
+	}
+	if r < -4 {
+		r = -4
+	}
+	est := ar * math.Exp(r)
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
+	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
+	width := float64(hi-lo) + 1
+	if width <= 0 {
+		return 1
+	}
+	ovLo, ovHi := p.Lo, p.Hi
+	if lo > ovLo {
+		ovLo = lo
+	}
+	if hi < ovHi {
+		ovHi = hi
+	}
+	ov := float64(ovHi-ovLo) + 1
+	if ov <= 0 {
+		return 0
+	}
+	if ov > width {
+		ov = width
+	}
+	return ov / width
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestEffectiveTauQuantile(t *testing.T) {
+	a := &Advisor{cfg: Config{Tau: 0.5, TauQuantile: 0.5}}
+	scores := [][]float64{
+		{1, 0}, {1, 0}, {0, 1}, {0, 1},
+	}
+	// Pairwise similarities: within-group 1 (twice... pairs: (0,1)=1,
+	// (0,2)=0, (0,3)=0, (1,2)=0, (1,3)=0, (2,3)=1 → {1,0,0,0,0,1}.
+	// Median = 0.
+	tau := a.effectiveTau(scores)
+	if tau > 0.5 {
+		t.Fatalf("median tau %g, want <= 0.5 for bimodal sims", tau)
+	}
+	// With the quantile disabled the fixed Tau is used.
+	a.cfg.TauQuantile = 0
+	if got := a.effectiveTau(scores); got != 0.5 {
+		t.Fatalf("fixed tau %g, want 0.5", got)
+	}
+	// Degenerate batch falls back to the fixed Tau.
+	a.cfg.TauQuantile = 0.5
+	if got := a.effectiveTau([][]float64{{1, 0}}); got != 0.5 {
+		t.Fatalf("single-sample tau %g, want fallback 0.5", got)
+	}
+}
+
+func TestAdaptiveTauSeparatesBimodalLabels(t *testing.T) {
+	// With adaptive tau, a bimodal label population must produce both
+	// positive and negative pairs in every batch.
+	scores := [][]float64{
+		{1, 0.1, 0}, {0.95, 0.12, 0}, {0, 0.1, 1}, {0.02, 0.08, 0.97},
+	}
+	a := &Advisor{cfg: Config{TauQuantile: 0.5}}
+	tau := a.effectiveTau(scores)
+	pos, neg, _ := pairSets(scores, tau)
+	var nPos, nNeg int
+	for i := range pos {
+		nPos += len(pos[i])
+		nNeg += len(neg[i])
+	}
+	if nPos == 0 || nNeg == 0 {
+		t.Fatalf("adaptive tau %g produced %d positive and %d negative pairs", tau, nPos, nNeg)
+	}
+}

@@ -1,0 +1,273 @@
+// Package core implements the AutoCE model advisor itself: deep-metric
+// learning of the similarity-aware GIN encoder with the weighted
+// contrastive loss (Section V, Algorithm 1), the KNN-based predictor over
+// the recommendation candidate set (Section V-D, Eq. 13), incremental
+// learning with Mixup data augmentation (Section VI, Algorithm 2), and the
+// online adapting mechanism for unexpected data distributions (Section
+// V-E).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/feature"
+	"repro/internal/gnn"
+	"repro/internal/metrics"
+)
+
+// Sample is one labeled training instance: a dataset's feature graph plus
+// its normalized per-model accuracy and efficiency scores from the testbed.
+type Sample struct {
+	Name   string
+	Graph  *feature.Graph
+	Sa, Se []float64
+}
+
+// Score returns the combined score vector for accuracy weight wa (Eq. 2).
+func (s *Sample) Score(wa float64) []float64 {
+	return metrics.CombineScores(s.Sa, s.Se, wa)
+}
+
+// LossKind selects the metric-learning loss.
+type LossKind int
+
+const (
+	// LossWeighted is the paper's weighted contrastive loss (Eq. 9).
+	LossWeighted LossKind = iota
+	// LossBasic is the plain contrastive loss (Eq. 10), kept for the
+	// Figure 7 ablation.
+	LossBasic
+)
+
+// Config controls advisor training and prediction.
+type Config struct {
+	// GNN is the encoder architecture; InDim must match the feature
+	// configuration's VertexDim.
+	GNN gnn.Config
+	// Tau is the cosine-similarity threshold τ of Eq. 7 when
+	// TauQuantile is 0.
+	Tau float64
+	// TauQuantile, when positive, replaces the fixed τ with a per-batch
+	// adaptive threshold: the given quantile of the batch's pairwise
+	// similarities. Score-vector cosines concentrate near 1 (all entries
+	// are positive), so a fixed τ that separates pairs at one metric
+	// weight lumps everything together at another; the quantile keeps the
+	// positive/negative split meaningful across the whole weight grid.
+	TauQuantile float64
+	// Gamma is the margin γ of Eq. 9.
+	Gamma float64
+	// Epochs and Batch control the DML loop (Algorithm 1).
+	Epochs int
+	Batch  int
+	// LR is the Adam learning rate η.
+	LR float64
+	// K is the number of KNN neighbors (paper's Table IV finds k=2 best).
+	K int
+	// WeightGrid lists the accuracy weights the encoder learns from; each
+	// batch samples one combination, covering the users' requirement
+	// space (Section IV-B2).
+	WeightGrid []float64
+	// Loss selects the contrastive loss variant.
+	Loss LossKind
+	Seed int64
+}
+
+// DefaultConfig returns the training configuration used throughout the
+// experiments.
+func DefaultConfig(inDim int) Config {
+	return Config{
+		GNN:         gnn.DefaultConfig(inDim),
+		Tau:         0.97,
+		TauQuantile: 0.7,
+		Gamma:       2.0,
+		Epochs:      30,
+		Batch:       24,
+		LR:          2e-3,
+		K:           2,
+		WeightGrid: []float64{
+			0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+		},
+		Loss: LossWeighted,
+		Seed: 17,
+	}
+}
+
+// Advisor is a trained AutoCE instance: the encoder plus the recommendation
+// candidate set (Definition 5) with cached embeddings.
+type Advisor struct {
+	cfg Config
+	enc *gnn.Encoder
+
+	rcs []*Sample
+	emb [][]float64
+
+	// driftThreshold is the 90th-percentile leave-one-out nearest
+	// distance over the RCS (Section V-E); computed lazily.
+	driftThreshold float64
+	driftValid     bool
+}
+
+// Encoder exposes the trained GIN (for ablation baselines that reuse it).
+func (a *Advisor) Encoder() *gnn.Encoder { return a.enc }
+
+// RCS returns the current recommendation candidate set.
+func (a *Advisor) RCS() []*Sample { return a.rcs }
+
+// Embeddings returns the cached RCS embeddings.
+func (a *Advisor) Embeddings() [][]float64 { return a.emb }
+
+// refreshEmbeddings re-encodes the RCS after any encoder update.
+func (a *Advisor) refreshEmbeddings() {
+	a.emb = make([][]float64, len(a.rcs))
+	for i, s := range a.rcs {
+		a.emb[i] = a.enc.Embed(s.Graph)
+	}
+	a.driftValid = false
+}
+
+// Embed encodes an arbitrary feature graph with the trained encoder.
+func (a *Advisor) Embed(g *feature.Graph) []float64 { return a.enc.Embed(g) }
+
+// neighborIndexes returns the indexes of the k nearest RCS embeddings to x,
+// excluding any index in skip (used by cross-validation).
+func (a *Advisor) neighborIndexes(x []float64, k int, skip map[int]bool) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, 0, len(a.emb))
+	for i, e := range a.emb {
+		if skip != nil && skip[i] {
+			continue
+		}
+		cands = append(cands, cand{i, metrics.EuclideanDistance(x, e)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// Recommendation is the advisor's output for one dataset.
+type Recommendation struct {
+	// Model is the selected model's registry index.
+	Model int
+	// Scores is the averaged neighbor score vector y' (Eq. 13).
+	Scores []float64
+	// Neighbors lists the RCS indexes consulted.
+	Neighbors []int
+}
+
+// Recommend runs Stage 4 for a target feature graph and accuracy weight:
+// encode, find the k nearest labeled embeddings, average their score
+// vectors under the weights, and return the top ranker.
+func (a *Advisor) Recommend(g *feature.Graph, wa float64) Recommendation {
+	return a.recommendEmbedded(a.enc.Embed(g), wa, nil)
+}
+
+// RecommendK is Recommend with an explicit neighbor count (Table IV).
+func (a *Advisor) RecommendK(g *feature.Graph, wa float64, k int) Recommendation {
+	saved := a.cfg.K
+	a.cfg.K = k
+	defer func() { a.cfg.K = saved }()
+	return a.recommendEmbedded(a.enc.Embed(g), wa, nil)
+}
+
+func (a *Advisor) recommendEmbedded(x []float64, wa float64, skip map[int]bool) Recommendation {
+	nbrs := a.neighborIndexes(x, a.cfg.K, skip)
+	if len(nbrs) == 0 {
+		return Recommendation{Model: -1}
+	}
+	dim := len(a.rcs[nbrs[0]].Sa)
+	avg := make([]float64, dim)
+	for _, ni := range nbrs {
+		sv := a.rcs[ni].Score(wa)
+		for j := range avg {
+			avg[j] += sv[j]
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(nbrs))
+	}
+	return Recommendation{Model: metrics.ArgMax(avg), Scores: avg, Neighbors: nbrs}
+}
+
+// DError evaluates a recommendation against the target's own true label.
+func DError(target *Sample, wa float64, model int) float64 {
+	return metrics.DError(target.Score(wa), model)
+}
+
+// validateSamples checks label consistency before training.
+func validateSamples(samples []*Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("core: no training samples")
+	}
+	dim := len(samples[0].Sa)
+	for _, s := range samples {
+		if len(s.Sa) != dim || len(s.Se) != dim {
+			return fmt.Errorf("core: sample %s has inconsistent label length", s.Name)
+		}
+		if s.Graph == nil || s.Graph.NumVertices() == 0 {
+			return fmt.Errorf("core: sample %s has an empty feature graph", s.Name)
+		}
+	}
+	return nil
+}
+
+// DriftThreshold returns the online-adapting distance threshold: the 90th
+// percentile of each RCS member's leave-one-out nearest-neighbor distance.
+func (a *Advisor) DriftThreshold() float64 {
+	if a.driftValid {
+		return a.driftThreshold
+	}
+	dists := make([]float64, 0, len(a.emb))
+	for i, e := range a.emb {
+		best := math.Inf(1)
+		for j, o := range a.emb {
+			if i == j {
+				continue
+			}
+			if d := metrics.EuclideanDistance(e, o); d < best {
+				best = d
+			}
+		}
+		if !math.IsInf(best, 1) {
+			dists = append(dists, best)
+		}
+	}
+	a.driftThreshold = metrics.Percentile(dists, 90)
+	a.driftValid = true
+	return a.driftThreshold
+}
+
+// DetectDrift reports whether g's embedding lies farther from the RCS than
+// the drift threshold — an unexpected data distribution (Section V-E).
+func (a *Advisor) DetectDrift(g *feature.Graph) bool {
+	x := a.enc.Embed(g)
+	best := math.Inf(1)
+	for _, e := range a.emb {
+		if d := metrics.EuclideanDistance(x, e); d < best {
+			best = d
+		}
+	}
+	return best > a.DriftThreshold()
+}
+
+// OnlineAdapt handles one unexpected dataset: the freshly labeled sample
+// (obtained by online learning, i.e. a testbed run) joins the RCS and the
+// encoder is updated with a short, damped DML pass over the extended set.
+func (a *Advisor) OnlineAdapt(s *Sample, epochs int) {
+	a.rcs = append(a.rcs, s)
+	cfg := a.cfg
+	cfg.Epochs = epochs
+	cfg.LR = a.cfg.LR / 5
+	a.trainDML(a.rcs, cfg)
+	a.refreshEmbeddings()
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/feature"
+)
+
+// ILConfig controls incremental learning (Algorithm 2).
+type ILConfig struct {
+	// Folds is ξ, the cross-validation fold count.
+	Folds int
+	// Threshold is b: samples recommended with D-error above it join the
+	// feedback set.
+	Threshold float64
+	// Weight is the accuracy weight the discriminator evaluates D-error
+	// at (the paper validates with the metric in use).
+	Weight float64
+	// Alpha and Beta parameterize the Mixup λ ~ Beta(α, β) draw.
+	Alpha, Beta float64
+	// Epochs is the incremental training budget after augmentation.
+	Epochs int
+	// Augment disables Mixup when false (the paper's "No Augmentation"
+	// ablation: feedback samples are re-trained without synthesis).
+	Augment bool
+	Seed    int64
+}
+
+// DefaultILConfig returns the incremental-learning configuration used by
+// the experiments (b = 0.1 as in Section VII-F).
+func DefaultILConfig() ILConfig {
+	return ILConfig{
+		Folds: 5, Threshold: 0.1, Weight: 0.9,
+		Alpha: 2, Beta: 2, Epochs: 8, Augment: true, Seed: 23,
+	}
+}
+
+// ILReport summarizes one incremental-learning pass.
+type ILReport struct {
+	FeedbackCount  int
+	ReferenceCount int
+	Synthesized    int
+}
+
+// IncrementalLearn runs Algorithm 2 on the advisor: cross-validate the
+// current encoder over its own training data, collect poorly predicted
+// samples (D-error > b) into the feedback set, synthesize new samples by
+// Mixup with their nearest reference neighbors, and continue training on
+// the augmented data.
+func (a *Advisor) IncrementalLearn(cfg ILConfig) ILReport {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(a.rcs)
+	if cfg.Folds < 2 || n < cfg.Folds {
+		return ILReport{}
+	}
+	a.refreshEmbeddings()
+
+	// Step 1: cross-validation discriminator.
+	perm := rng.Perm(n)
+	var feedback, reference []int
+	for v := 0; v < cfg.Folds; v++ {
+		skip := map[int]bool{}
+		var fold []int
+		for pos, si := range perm {
+			if pos%cfg.Folds == v {
+				skip[si] = true
+				fold = append(fold, si)
+			}
+		}
+		for _, si := range fold {
+			rec := a.recommendEmbedded(a.emb[si], cfg.Weight, skip)
+			if rec.Model < 0 {
+				continue
+			}
+			if DError(a.rcs[si], cfg.Weight, rec.Model) > cfg.Threshold {
+				feedback = append(feedback, si)
+			} else {
+				reference = append(reference, si)
+			}
+		}
+	}
+	report := ILReport{FeedbackCount: len(feedback), ReferenceCount: len(reference)}
+	if len(feedback) == 0 {
+		return report
+	}
+
+	// Step 2: Mixup augmentation against nearest reference neighbors.
+	// Neighbors with the same vertex (table) count are preferred: a convex
+	// combination of graphs with different table counts zero-pads the
+	// missing vertices, which lands off the feature manifold and degrades
+	// rather than augments the training pool.
+	var synthesized []*Sample
+	if cfg.Augment && len(reference) > 0 {
+		for _, fi := range feedback {
+			best, bestD := -1, math.Inf(1)
+			n := a.rcs[fi].Graph.NumVertices()
+			for _, ri := range reference {
+				if a.rcs[ri].Graph.NumVertices() != n {
+					continue
+				}
+				d := euclid(a.emb[fi], a.emb[ri])
+				if d < bestD {
+					best, bestD = ri, d
+				}
+			}
+			if best == -1 { // no same-shape reference: fall back to any
+				for _, ri := range reference {
+					d := euclid(a.emb[fi], a.emb[ri])
+					if d < bestD {
+						best, bestD = ri, d
+					}
+				}
+			}
+			lambda := betaSample(rng, cfg.Alpha, cfg.Beta)
+			g := feature.Mixup(a.rcs[fi].Graph, a.rcs[best].Graph, lambda)
+			synthesized = append(synthesized, &Sample{
+				Name:  a.rcs[fi].Name + "+aug",
+				Graph: g,
+				Sa:    feature.MixupLabels(a.rcs[fi].Sa, a.rcs[best].Sa, lambda),
+				Se:    feature.MixupLabels(a.rcs[fi].Se, a.rcs[best].Se, lambda),
+			})
+		}
+	}
+	report.Synthesized = len(synthesized)
+
+	// Step 3: incremental training on original + synthesized data. The
+	// synthesized samples extend the training pool but not the RCS (their
+	// labels are interpolations, not measurements). The pass fine-tunes:
+	// a fresh optimizer at the full learning rate would overwrite the
+	// converged encoder rather than refine it, so the rate is damped.
+	trainingPool := append(append([]*Sample(nil), a.rcs...), synthesized...)
+	ilCfg := a.cfg
+	ilCfg.Epochs = cfg.Epochs
+	ilCfg.Seed = cfg.Seed + 1
+	ilCfg.LR = a.cfg.LR / 5
+	a.trainDML(trainingPool, ilCfg)
+	a.refreshEmbeddings()
+	return report
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// betaSample draws from Beta(α, β) via two Gamma draws
+// (Marsaglia-Tsang for shape >= 1, boosted for shape < 1).
+func betaSample(rng *rand.Rand, alpha, beta float64) float64 {
+	x := gammaSample(rng, alpha)
+	y := gammaSample(rng, beta)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

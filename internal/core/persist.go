@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/feature"
+	"repro/internal/gnn"
+)
+
+// advisorState is the gob-serializable form of a trained Advisor: the
+// configuration, the encoder weights, and the recommendation candidate set
+// with labels. Embeddings are recomputed on load (they are derived state).
+type advisorState struct {
+	Cfg     Config
+	Encoder gnn.State
+	Samples []sampleState
+}
+
+type sampleState struct {
+	Name   string
+	Graph  *feature.Graph
+	Sa, Se []float64
+}
+
+// Save writes the trained advisor to w in gob format. A saved advisor can
+// be reloaded with Load and used for recommendation, drift detection,
+// online adapting and incremental learning — the full Stage 3/4 surface.
+func (a *Advisor) Save(w io.Writer) error {
+	st := advisorState{Cfg: a.cfg, Encoder: a.enc.State()}
+	for _, s := range a.rcs {
+		st.Samples = append(st.Samples, sampleState{
+			Name: s.Name, Graph: s.Graph, Sa: s.Sa, Se: s.Se,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: encoding advisor: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the advisor to a file path.
+func (a *Advisor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := a.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trained advisor written by Save and recomputes the RCS
+// embeddings with the restored encoder.
+func Load(r io.Reader) (*Advisor, error) {
+	var st advisorState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding advisor: %w", err)
+	}
+	enc, err := gnn.FromState(st.Encoder)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring encoder: %w", err)
+	}
+	a := &Advisor{cfg: st.Cfg, enc: enc}
+	for _, s := range st.Samples {
+		a.rcs = append(a.rcs, &Sample{Name: s.Name, Graph: s.Graph, Sa: s.Sa, Se: s.Se})
+	}
+	if len(a.rcs) == 0 {
+		return nil, fmt.Errorf("core: loaded advisor has an empty candidate set")
+	}
+	a.refreshEmbeddings()
+	return a, nil
+}
+
+// LoadFile reads an advisor from a file path.
+func LoadFile(path string) (*Advisor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

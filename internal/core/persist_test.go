@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	samples := corpus(t, 20, 21)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := adv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded advisor must reproduce embeddings and recommendations
+	// exactly.
+	for i, s := range samples {
+		a := adv.Embed(s.Graph)
+		b := loaded.Embed(s.Graph)
+		for f := range a {
+			if math.Abs(a[f]-b[f]) > 1e-12 {
+				t.Fatalf("sample %d: embedding differs after reload", i)
+			}
+		}
+		for _, wa := range []float64{1.0, 0.5} {
+			if adv.Recommend(s.Graph, wa).Model != loaded.Recommend(s.Graph, wa).Model {
+				t.Fatalf("sample %d: recommendation differs after reload", i)
+			}
+		}
+	}
+	// Drift threshold (derived state) matches too.
+	if math.Abs(adv.DriftThreshold()-loaded.DriftThreshold()) > 1e-12 {
+		t.Fatal("drift threshold differs after reload")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	samples := corpus(t, 10, 22)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "advisor.gob")
+	if err := adv.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.RCS()) != len(samples) {
+		t.Fatalf("loaded RCS has %d samples", len(loaded.RCS()))
+	}
+}
+
+func TestLoadedAdvisorRemainsTrainable(t *testing.T) {
+	// Incremental learning and online adapting must work on a reloaded
+	// advisor (the encoder parameters stay trainable).
+	samples := corpus(t, 16, 23)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := adv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := DefaultILConfig()
+	il.Epochs = 2
+	report := loaded.IncrementalLearn(il)
+	if report.FeedbackCount+report.ReferenceCount != len(samples) {
+		t.Fatal("incremental learning failed on a reloaded advisor")
+	}
+	extra := corpus(t, 1, 24)[0]
+	loaded.OnlineAdapt(extra, 1)
+	if len(loaded.RCS()) != len(samples)+1 {
+		t.Fatal("online adapting failed on a reloaded advisor")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadFile("/nonexistent/advisor.gob"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

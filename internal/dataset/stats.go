@@ -1,0 +1,155 @@
+package dataset
+
+import "math"
+
+// Stats bundles the per-column moments and distribution features that
+// AutoCE's feature engineering extracts (Section V-A): skewness, kurtosis,
+// standard and mean deviation, range, and domain size.
+type Stats struct {
+	Count      int
+	Mean       float64
+	Std        float64 // population standard deviation
+	MeanDev    float64 // mean absolute deviation from the mean
+	Skewness   float64 // standardized third moment
+	Kurtosis   float64 // excess kurtosis (normal = 0)
+	Min, Max   int64
+	Range      float64
+	DomainSize int // number of distinct values
+}
+
+// ColumnStats computes Stats for a column in a single pass over the data
+// (two passes: one for the mean, one for the central moments).
+func ColumnStats(c *Column) Stats {
+	n := len(c.Data)
+	if n == 0 {
+		return Stats{}
+	}
+	var sum float64
+	lo, hi := c.Data[0], c.Data[0]
+	seen := make(map[int64]struct{}, n)
+	for _, v := range c.Data {
+		sum += float64(v)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		seen[v] = struct{}{}
+	}
+	mean := sum / float64(n)
+	var m2, m3, m4, mad float64
+	for _, v := range c.Data {
+		d := float64(v) - mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+		mad += math.Abs(d)
+	}
+	m2 /= float64(n)
+	m3 /= float64(n)
+	m4 /= float64(n)
+	mad /= float64(n)
+
+	st := Stats{
+		Count:      n,
+		Mean:       mean,
+		Std:        math.Sqrt(m2),
+		MeanDev:    mad,
+		Min:        lo,
+		Max:        hi,
+		Range:      float64(hi - lo),
+		DomainSize: len(seen),
+	}
+	if m2 > 0 {
+		st.Skewness = m3 / math.Pow(m2, 1.5)
+		st.Kurtosis = m4/(m2*m2) - 3
+	}
+	return st
+}
+
+// EqualFraction returns the fraction of positions where a and b hold the
+// same value. This is exactly the paper's column-correlation notion (F2):
+// the probability that two columns have the same value at the same position.
+// It returns 0 when lengths differ or are zero.
+func EqualFraction(a, b *Column) float64 {
+	n := len(a.Data)
+	if n == 0 || n != len(b.Data) {
+		return 0
+	}
+	eq := 0
+	for i := 0; i < n; i++ {
+		if a.Data[i] == b.Data[i] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(n)
+}
+
+// PearsonCorr returns the Pearson correlation coefficient between two
+// equal-length columns, or 0 when it is undefined (constant column or
+// mismatched length).
+func PearsonCorr(a, b *Column) float64 {
+	n := len(a.Data)
+	if n == 0 || n != len(b.Data) {
+		return 0
+	}
+	var sa, sb float64
+	for i := 0; i < n; i++ {
+		sa += float64(a.Data[i])
+		sb += float64(b.Data[i])
+	}
+	ma, mb := sa/float64(n), sb/float64(n)
+	var cov, va, vb float64
+	for i := 0; i < n; i++ {
+		da := float64(a.Data[i]) - ma
+		db := float64(b.Data[i]) - mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// JoinCorrelation measures the paper's join-correlation feature for an FK
+// edge: the ratio of the FK column's distinct values over the referenced PK
+// column's distinct values (Section V-A: "we compute the join correlation by
+// taking the set of the FK column data of a table, then calculating its
+// ratio over the PK column data of a joined table"). It returns 0 when the
+// PK column has no values.
+func JoinCorrelation(fk, pk *Column) float64 {
+	pkSet := make(map[int64]struct{}, len(pk.Data))
+	for _, v := range pk.Data {
+		pkSet[v] = struct{}{}
+	}
+	if len(pkSet) == 0 {
+		return 0
+	}
+	fkSet := make(map[int64]struct{}, len(fk.Data))
+	for _, v := range fk.Data {
+		fkSet[v] = struct{}{}
+	}
+	inter := 0
+	for v := range fkSet {
+		if _, ok := pkSet[v]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(pkSet))
+}
+
+// MeasuredFKCorrelations recomputes the join correlation of every FK edge
+// from the actual column data and returns one value per FK, in order.
+func MeasuredFKCorrelations(d *Dataset) []float64 {
+	out := make([]float64, len(d.FKs))
+	for i, fk := range d.FKs {
+		from := d.Tables[fk.FromTable].Col(fk.FromCol)
+		to := d.Tables[fk.ToTable].Col(fk.ToCol)
+		out[i] = JoinCorrelation(from, to)
+	}
+	return out
+}

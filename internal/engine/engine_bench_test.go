@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func benchDataset(b *testing.B, tables int) *dataset.Dataset {
+	b.Helper()
+	p := datagen.Params{
+		Tables:  tables,
+		MinCols: 3, MaxCols: 4,
+		MinRows: 1000, MaxRows: 1000,
+		Domain: 50,
+		SkewLo: 0, SkewHi: 1,
+		CorrLo: 0, CorrHi: 0.5,
+		JoinLo: 0.5, JoinHi: 1,
+		Seed: 1,
+	}
+	d, err := datagen.Generate("bench", p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkCardinalitySingleTable(b *testing.B) {
+	d := benchDataset(b, 1)
+	q := &Query{
+		Tables: []int{0},
+		Preds: []Predicate{
+			{Table: 0, Col: 0, Lo: 5, Hi: 30},
+			{Table: 0, Col: 1, Lo: 1, Hi: 20},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cardinality(d, q)
+	}
+}
+
+func BenchmarkCardinalityThreeWayJoin(b *testing.B) {
+	d := benchDataset(b, 3)
+	all := make([]int, len(d.Tables))
+	for i := range all {
+		all[i] = i
+	}
+	q := &Query{Tables: all}
+	for _, fk := range d.FKs {
+		q.Joins = append(q.Joins, Join{
+			LeftTable: fk.FromTable, LeftCol: fk.FromCol,
+			RightTable: fk.ToTable, RightCol: fk.ToCol,
+		})
+	}
+	q.Preds = append(q.Preds, Predicate{Table: 0, Col: 1, Lo: 1, Hi: 25})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cardinality(d, q)
+	}
+}
+
+func BenchmarkSampleJoin(b *testing.B) {
+	d := benchDataset(b, 3)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleJoin(d, 1000, rng)
+	}
+}

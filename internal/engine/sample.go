@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// JoinSample is a row-major sample of the full join of a dataset's tables,
+// restricted to non-key columns. Data-driven estimators (DeepDB's SPN,
+// NeuroCard's autoregressive model, BayesCard's Bayesian network) train on
+// it, mirroring how the original systems learn a joint distribution over
+// the (full outer) join of the base tables.
+type JoinSample struct {
+	// Cols identifies each sample column as (table, column) in the source
+	// dataset, in the order of the Rows entries.
+	Cols []ColRef
+	// Rows holds the sampled tuples; Rows[i][j] is the value of Cols[j].
+	Rows [][]int64
+	// FullJoinSize is the exact cardinality of the unfiltered join the
+	// sample was drawn from (the estimators scale probabilities by it).
+	FullJoinSize int64
+}
+
+// ColRef names one dataset column.
+type ColRef struct{ Table, Col int }
+
+// SampleJoin materializes (a reservoir sample of) the full PK-FK join of
+// all tables in d, projected to non-key columns. maxRows caps the sample
+// size; rng drives the reservoir. For a single-table dataset the "join" is
+// the table itself. Tables disconnected from the join graph contribute via
+// cross product, which matches the semantics of a query listing them with
+// no join edge; the synthetic generator always produces connected schemas.
+func SampleJoin(d *dataset.Dataset, maxRows int, rng *rand.Rand) *JoinSample {
+	allTables := make([]int, len(d.Tables))
+	for i := range allTables {
+		allTables[i] = i
+	}
+	q := &Query{Tables: allTables}
+	for _, fk := range d.FKs {
+		q.Joins = append(q.Joins, Join{
+			LeftTable: fk.FromTable, LeftCol: fk.FromCol,
+			RightTable: fk.ToTable, RightCol: fk.ToCol,
+		})
+	}
+
+	js := &JoinSample{}
+	for ti, t := range d.Tables {
+		for ci := range t.Cols {
+			if ci == t.PKCol || isFKCol(d, ti, ci) {
+				continue
+			}
+			js.Cols = append(js.Cols, ColRef{Table: ti, Col: ci})
+		}
+	}
+
+	if len(d.Tables) == 1 {
+		t := d.Tables[0]
+		js.FullJoinSize = int64(t.Rows())
+		idx := reservoirIndexes(t.Rows(), maxRows, rng)
+		for _, r := range idx {
+			row := make([]int64, len(js.Cols))
+			for j, cr := range js.Cols {
+				row[j] = t.Col(cr.Col).Data[r]
+			}
+			js.Rows = append(js.Rows, row)
+		}
+		return js
+	}
+
+	tuples := materializeJoin(d, q)
+	js.FullJoinSize = int64(len(tuples))
+	order := joinTableOrder(d, q)
+	pos := map[int]int{}
+	for i, ti := range order {
+		pos[ti] = i
+	}
+	idx := reservoirIndexes(len(tuples), maxRows, rng)
+	for _, r := range idx {
+		tp := tuples[r]
+		row := make([]int64, len(js.Cols))
+		for j, cr := range js.Cols {
+			row[j] = d.Tables[cr.Table].Col(cr.Col).Data[tp[pos[cr.Table]]]
+		}
+		js.Rows = append(js.Rows, row)
+	}
+	return js
+}
+
+func isFKCol(d *dataset.Dataset, ti, ci int) bool {
+	for _, fk := range d.FKs {
+		if fk.FromTable == ti && fk.FromCol == ci {
+			return true
+		}
+	}
+	return false
+}
+
+// reservoirIndexes returns up to k distinct indexes from [0,n), uniformly.
+func reservoirIndexes(n, k int, rng *rand.Rand) []int {
+	if n <= k {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	res := make([]int, k)
+	for i := 0; i < k; i++ {
+		res[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			res[j] = i
+		}
+	}
+	return res
+}
+
+// materializeJoin evaluates the unfiltered join of q and returns the raw
+// tuples (row index per table, in joinTableOrder). It reuses the
+// Cardinality fold but keeps the tuples.
+func materializeJoin(d *dataset.Dataset, q *Query) [][]int32 {
+	rowsets := make(map[int][]int32, len(q.Tables))
+	for _, ti := range q.Tables {
+		n := d.Tables[ti].Rows()
+		rows := make([]int32, n)
+		for r := range rows {
+			rows[r] = int32(r)
+		}
+		rowsets[ti] = rows
+	}
+	order := joinTableOrder(d, q)
+	joined := map[int]int{order[0]: 0}
+	current := make([][]int32, 0, len(rowsets[order[0]]))
+	for _, r := range rowsets[order[0]] {
+		current = append(current, []int32{r})
+	}
+	used := map[int]bool{}
+	for _, ti := range order[1:] {
+		// Find a join edge connecting ti to the joined set.
+		found := false
+		for ji, j := range q.Joins {
+			if used[ji] {
+				continue
+			}
+			if j.LeftTable == ti {
+				if _, ok := joined[j.RightTable]; ok {
+					current = hashExtend(d, current, joined, j.RightTable, j.RightCol, ti, j.LeftCol, rowsets)
+					joined[ti] = len(joined)
+					used[ji] = true
+					found = true
+					break
+				}
+			}
+			if j.RightTable == ti {
+				if _, ok := joined[j.LeftTable]; ok {
+					current = hashExtend(d, current, joined, j.LeftTable, j.LeftCol, ti, j.RightCol, rowsets)
+					joined[ti] = len(joined)
+					used[ji] = true
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			// Cross product with a disconnected table.
+			next := make([][]int32, 0, len(current)*len(rowsets[ti]))
+			for _, tp := range current {
+				for _, r := range rowsets[ti] {
+					nt := make([]int32, len(tp)+1)
+					copy(nt, tp)
+					nt[len(tp)] = r
+					next = append(next, nt)
+				}
+			}
+			current = next
+			joined[ti] = len(joined)
+		}
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	// Apply any remaining cycle edges as filters.
+	for ji, j := range q.Joins {
+		if used[ji] {
+			continue
+		}
+		li, lok := joined[j.LeftTable]
+		ri, rok := joined[j.RightTable]
+		if !lok || !rok {
+			continue
+		}
+		lcol := d.Tables[j.LeftTable].Col(j.LeftCol).Data
+		rcol := d.Tables[j.RightTable].Col(j.RightCol).Data
+		next := current[:0]
+		for _, tp := range current {
+			if lcol[tp[li]] == rcol[tp[ri]] {
+				next = append(next, tp)
+			}
+		}
+		current = next
+	}
+	return current
+}
+
+// joinTableOrder returns q's tables in a connected visiting order (BFS over
+// the join edges from the first table), with disconnected tables appended.
+func joinTableOrder(d *dataset.Dataset, q *Query) []int {
+	if len(q.Tables) == 0 {
+		return nil
+	}
+	adj := map[int][]int{}
+	for _, j := range q.Joins {
+		adj[j.LeftTable] = append(adj[j.LeftTable], j.RightTable)
+		adj[j.RightTable] = append(adj[j.RightTable], j.LeftTable)
+	}
+	seen := map[int]bool{}
+	var order []int
+	var bfs func(start int)
+	bfs = func(start int) {
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			ti := queue[0]
+			queue = queue[1:]
+			order = append(order, ti)
+			for _, nb := range adj[ti] {
+				if !seen[nb] && inQuery(q, nb) {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	bfs(q.Tables[0])
+	for _, ti := range q.Tables {
+		if !seen[ti] {
+			bfs(ti)
+		}
+	}
+	return order
+}
+
+func inQuery(q *Query, ti int) bool {
+	for _, t := range q.Tables {
+		if t == ti {
+			return true
+		}
+	}
+	return false
+}

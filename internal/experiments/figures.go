@@ -1,0 +1,692 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+)
+
+// ---------------------------------------------------------------- Figure 1
+
+// Fig1Result reproduces the motivation experiment: per-model Q-error on an
+// IMDB-like multi-table dataset and a Power-like single-table dataset, and
+// inference latency on the Power-like dataset.
+type Fig1Result struct {
+	Models       []string
+	QErrIMDB     []float64
+	QErrPower    []float64
+	LatencyPower []float64 // seconds
+}
+
+// Fig1 runs the motivation experiment with the three models the paper
+// plots (DeepDB, NeuroCard, MSCN).
+func Fig1(sc Scale) (*Fig1Result, error) {
+	imdb := datagen.IMDBLike(sc.Seed)
+	power := datagen.PowerLike(sc.Seed)
+	li, err := testbed.LabelOnly(imdb, sc.TestbedConfig(sc.Seed+1))
+	if err != nil {
+		return nil, err
+	}
+	lp, err := testbed.LabelOnly(power, sc.TestbedConfig(sc.Seed+2))
+	if err != nil {
+		return nil, err
+	}
+	idx := []int{testbed.ModelDeepDB, testbed.ModelNeuroCard, testbed.ModelMSCN}
+	res := &Fig1Result{}
+	for _, i := range idx {
+		res.Models = append(res.Models, testbed.ModelNames[i])
+		res.QErrIMDB = append(res.QErrIMDB, li.Perfs[i].QErrorMean)
+		res.QErrPower = append(res.QErrPower, lp.Perfs[i].QErrorMean)
+		res.LatencyPower = append(res.LatencyPower, lp.Perfs[i].LatencyMean)
+	}
+	return res, nil
+}
+
+// Render prints the figure's three panels as rows.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — CE models over different datasets\n")
+	b.WriteString(row("model", "Q-err(IMDB)", "Q-err(Power)", "Latency(Power)"))
+	b.WriteString("\n")
+	for i, m := range r.Models {
+		b.WriteString(row(m,
+			fmt.Sprintf("%11.2f", r.QErrIMDB[i]),
+			fmt.Sprintf("%12.2f", r.QErrPower[i]),
+			fmt.Sprintf("%11.6fs", r.LatencyPower[i])))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Result compares the weighted contrastive loss against the basic
+// contrastive loss by the resulting advisor's D-error.
+type Fig7Result struct {
+	Weights       []float64
+	WeightedMean  []float64
+	BasicMean     []float64
+	WeightedStats []DErrorStats
+	BasicStats    []DErrorStats
+}
+
+// Fig7 trains two advisors, identical except for the loss function.
+func Fig7(c *Corpus) (*Fig7Result, error) {
+	cfgW := c.AdvisorConfig()
+	advW, err := core.Train(c.TrainSamples(), cfgW)
+	if err != nil {
+		return nil, err
+	}
+	cfgB := c.AdvisorConfig()
+	cfgB.Loss = core.LossBasic
+	advB, err := core.Train(c.TrainSamples(), cfgB)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Weights: []float64{0.9, 0.7, 0.5}}
+	for _, wa := range res.Weights {
+		dw := EvalSelector(c.Test, wa, func(ld *LabeledDataset) int {
+			return advW.Recommend(ld.Graph, wa).Model
+		})
+		db := EvalSelector(c.Test, wa, func(ld *LabeledDataset) int {
+			return advB.Recommend(ld.Graph, wa).Model
+		})
+		res.WeightedMean = append(res.WeightedMean, metrics.Mean(dw))
+		res.BasicMean = append(res.BasicMean, metrics.Mean(db))
+		res.WeightedStats = append(res.WeightedStats, Stats(dw))
+		res.BasicStats = append(res.BasicStats, Stats(db))
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — weighted vs basic contrastive loss (mean D-error)\n")
+	b.WriteString(row("wq", "weighted", "basic"))
+	b.WriteString("\n")
+	for i, w := range r.Weights {
+		b.WriteString(row(fmt.Sprintf("%.1f", w),
+			fmt.Sprintf("%8.4f", r.WeightedMean[i]),
+			fmt.Sprintf("%8.4f", r.BasicMean[i])))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8Result compares AutoCE with the four selection baselines across
+// accuracy weights: D-error, plus the Q-error and latency breakdowns of
+// the chosen models.
+type Fig8Result struct {
+	Weights   []float64
+	Selectors []string
+	// DErrorMean[w][s], QErr[w][s], Latency[w][s].
+	DErrorMean [][]float64
+	QErr       [][]float64
+	Latency    [][]float64
+}
+
+// Fig8 runs the comparison over wa = 1.0 … 0.1.
+func Fig8(c *Corpus) (*Fig8Result, error) {
+	autoce, err := c.TrainAutoCE()
+	if err != nil {
+		return nil, err
+	}
+	mlp, err := advisor.TrainGINHead(c.BaselineSamples(), mlpConfig(c))
+	if err != nil {
+		return nil, err
+	}
+	rule := advisor.NewRule(c.Scale.Seed + 41)
+	rawknn := advisor.NewRawKNN(c.BaselineSamples(), 2)
+	sampLabels, err := c.SamplingLabels(c.Test)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig8Result{
+		Weights:   []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1},
+		Selectors: []string{"AutoCE", "MLP", "Rule", "Sampling", "Knn"},
+	}
+	for _, wa := range res.Weights {
+		choosers := []func(ld *LabeledDataset) int{
+			func(ld *LabeledDataset) int { return autoce.Recommend(ld.Graph, wa).Model },
+			func(ld *LabeledDataset) int { return mlp.Select(ld.Target(), wa) },
+			func(ld *LabeledDataset) int { return rule.Select(ld.Target(), wa) },
+			nil, // sampling handled below
+			func(ld *LabeledDataset) int { return rawknn.Select(ld.Target(), wa) },
+		}
+		idxOf := map[*LabeledDataset]int{}
+		for i, ld := range c.Test {
+			idxOf[ld] = i
+		}
+		choosers[3] = func(ld *LabeledDataset) int {
+			return sampLabels[idxOf[ld]].BestModel(wa)
+		}
+		var dRow, qRow, lRow []float64
+		for _, choose := range choosers {
+			d := EvalSelector(c.Test, wa, choose)
+			q, l := ChosenPerf(c.Test, choose)
+			dRow = append(dRow, metrics.Mean(d))
+			qRow = append(qRow, q)
+			lRow = append(lRow, l)
+		}
+		res.DErrorMean = append(res.DErrorMean, dRow)
+		res.QErr = append(res.QErr, qRow)
+		res.Latency = append(res.Latency, lRow)
+	}
+	return res, nil
+}
+
+func mlpConfig(c *Corpus) advisor.GINHeadConfig {
+	cfg := advisor.DefaultGINHeadConfig(c.FeatCfg.VertexDim())
+	cfg.Epochs = c.Scale.AdvisorEpochs
+	if c.Scale.Fast {
+		cfg.Epochs = maxInt(6, c.Scale.AdvisorEpochs/2)
+	}
+	cfg.Seed = c.Scale.Seed + 53
+	return cfg
+}
+
+// Render prints the three panels.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — AutoCE vs selection strategies\n")
+	for pi, panel := range []struct {
+		name string
+		data [][]float64
+		fmtS string
+	}{
+		{"mean D-error", r.DErrorMean, "%8.4f"},
+		{"mean Q-error of chosen model", r.QErr, "%8.2f"},
+		{"mean latency of chosen model (s)", r.Latency, "%8.6f"},
+	} {
+		b.WriteString(fmt.Sprintf("(%c) %s\n", 'a'+pi, panel.name))
+		header := make([]string, len(r.Selectors))
+		for i, s := range r.Selectors {
+			header[i] = fmt.Sprintf("%8s", s)
+		}
+		b.WriteString(row("wa", header...))
+		b.WriteString("\n")
+		for wi, wa := range r.Weights {
+			cells := make([]string, len(r.Selectors))
+			for si := range r.Selectors {
+				cells[si] = fmt.Sprintf(panel.fmtS, panel.data[wi][si])
+			}
+			b.WriteString(row(fmt.Sprintf("%.1f", wa), cells...))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// Fig9Result compares AutoCE against always picking one fixed CE model.
+type Fig9Result struct {
+	Weights []float64
+	Names   []string // "AutoCE" + fixed models
+	// DError[w][m] is the mean D-error.
+	DError [][]float64
+}
+
+// Fig9 evaluates at the paper's five accuracy weights.
+func Fig9(c *Corpus) (*Fig9Result, error) {
+	autoce, err := c.TrainAutoCE()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Weights: []float64{1.0, 0.9, 0.7, 0.5, 0.3},
+		Names:   append([]string{"AutoCE"}, testbed.ModelNames...),
+	}
+	// All rows — AutoCE and the fixed models, including the non-candidate
+	// Postgres and Ensemble baselines — are scored on the full-registry
+	// normalization so the comparison shares one scale.
+	fullDErr := func(wa float64, choose func(*LabeledDataset) int) float64 {
+		var ds []float64
+		for _, ld := range c.Test {
+			ds = append(ds, metrics.DError(ld.Label.FullScoreVector(wa), choose(ld)))
+		}
+		return metrics.Mean(ds)
+	}
+	for _, wa := range res.Weights {
+		rowD := []float64{fullDErr(wa, func(ld *LabeledDataset) int {
+			return autoce.Recommend(ld.Graph, wa).Model
+		})}
+		for m := 0; m < testbed.NumModels; m++ {
+			m := m
+			rowD = append(rowD, fullDErr(wa, func(*LabeledDataset) int { return m }))
+		}
+		res.DError = append(res.DError, rowD)
+	}
+	return res, nil
+}
+
+// Render prints mean D-error rows per weight.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — AutoCE vs fixed CE models (mean D-error)\n")
+	header := make([]string, len(r.Names))
+	for i, n := range r.Names {
+		header[i] = fmt.Sprintf("%9s", n)
+	}
+	b.WriteString(row("wa", header...))
+	b.WriteString("\n")
+	for wi, wa := range r.Weights {
+		cells := make([]string, len(r.Names))
+		for i := range r.Names {
+			cells[i] = fmt.Sprintf("%9.4f", r.DError[wi][i])
+		}
+		b.WriteString(row(fmt.Sprintf("%.1f", wa), cells...))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- Figure 10
+
+// Fig10Result evaluates selectors on the real-world-like splits.
+type Fig10Result struct {
+	Datasets  []string // "IMDB-20", "STATS-20"
+	Selectors []string
+	// DErrorMean[d][s].
+	DErrorMean [][]float64
+	Weight     float64
+}
+
+// Fig10 trains on the synthetic corpus and tests on IMDB-20/STATS-20.
+func Fig10(c *Corpus) (*Fig10Result, error) {
+	imdb20, err := realWorldSplits(c, datagen.IMDBLike(c.Scale.Seed+7), "imdb20")
+	if err != nil {
+		return nil, err
+	}
+	stats20, err := realWorldSplits(c, datagen.STATSLike(c.Scale.Seed+8), "stats20")
+	if err != nil {
+		return nil, err
+	}
+	autoce, err := c.TrainAutoCE()
+	if err != nil {
+		return nil, err
+	}
+	mlp, err := advisor.TrainGINHead(c.BaselineSamples(), mlpConfig(c))
+	if err != nil {
+		return nil, err
+	}
+	rule := advisor.NewRule(c.Scale.Seed + 42)
+	rawknn := advisor.NewRawKNN(c.BaselineSamples(), 2)
+
+	const wa = 0.9
+	res := &Fig10Result{
+		Datasets:  []string{"IMDB-20", "STATS-20"},
+		Selectors: []string{"AutoCE", "MLP", "Rule", "Sampling", "Knn"},
+		Weight:    wa,
+	}
+	for _, split := range [][]*LabeledDataset{imdb20, stats20} {
+		sampLabels, err := c.SamplingLabels(split)
+		if err != nil {
+			return nil, err
+		}
+		idxOf := map[*LabeledDataset]int{}
+		for i, ld := range split {
+			idxOf[ld] = i
+		}
+		choosers := []func(ld *LabeledDataset) int{
+			func(ld *LabeledDataset) int { return autoce.Recommend(ld.Graph, wa).Model },
+			func(ld *LabeledDataset) int { return mlp.Select(ld.Target(), wa) },
+			func(ld *LabeledDataset) int { return rule.Select(ld.Target(), wa) },
+			func(ld *LabeledDataset) int { return sampLabels[idxOf[ld]].BestModel(wa) },
+			func(ld *LabeledDataset) int { return rawknn.Select(ld.Target(), wa) },
+		}
+		var rowD []float64
+		for _, choose := range choosers {
+			rowD = append(rowD, metrics.Mean(EvalSelector(split, wa, choose)))
+		}
+		res.DErrorMean = append(res.DErrorMean, rowD)
+	}
+	return res, nil
+}
+
+// realWorldSplits derives and labels n test splits per the IMDB-20/STATS-20
+// protocol; quick scale uses fewer splits.
+func realWorldSplits(c *Corpus, src *dataset.Dataset, name string) ([]*LabeledDataset, error) {
+	n := 20
+	if c.Scale.Fast {
+		n = 6
+	}
+	subs := datagen.Split(src, n, 5, c.Scale.Seed+19)
+	return LabelDatasets(subs, c.Scale, c.FeatCfg, c.Scale.Seed+200000)
+}
+
+// Render prints mean D-error per dataset family and selector.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — efficacy on real-world datasets (mean D-error, wa=%.1f)\n", r.Weight)
+	header := make([]string, len(r.Selectors))
+	for i, s := range r.Selectors {
+		header[i] = fmt.Sprintf("%9s", s)
+	}
+	b.WriteString(row("dataset", header...))
+	b.WriteString("\n")
+	for di, d := range r.Datasets {
+		cells := make([]string, len(r.Selectors))
+		for i := range r.Selectors {
+			cells[i] = fmt.Sprintf("%9.4f", r.DErrorMean[di][i])
+		}
+		b.WriteString(row(d, cells...))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------------- Figure 11a
+
+// Fig11aResult is the DML ablation: AutoCE vs the GIN+MLP regression head.
+type Fig11aResult struct {
+	Weights    []float64
+	AutoCE     []float64
+	WithoutDML []float64
+}
+
+// Fig11a runs the ablation at the paper's three weights.
+func Fig11a(c *Corpus) (*Fig11aResult, error) {
+	autoce, err := c.TrainAutoCE()
+	if err != nil {
+		return nil, err
+	}
+	cfg := mlpConfig(c)
+	cfg.Loss = advisor.HeadMSE
+	noDML, err := advisor.TrainGINHead(c.BaselineSamples(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11aResult{Weights: []float64{0.9, 0.7, 0.5}}
+	for _, wa := range res.Weights {
+		res.AutoCE = append(res.AutoCE, metrics.Mean(EvalSelector(c.Test, wa, func(ld *LabeledDataset) int {
+			return autoce.Recommend(ld.Graph, wa).Model
+		})))
+		res.WithoutDML = append(res.WithoutDML, metrics.Mean(EvalSelector(c.Test, wa, func(ld *LabeledDataset) int {
+			return noDML.Select(ld.Target(), wa)
+		})))
+	}
+	return res, nil
+}
+
+// Render prints the ablation rows.
+func (r *Fig11aResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11(a) — ablation of deep metric learning (mean D-error)\n")
+	b.WriteString(row("wa", "  AutoCE", "WithoutDML"))
+	b.WriteString("\n")
+	for i, wa := range r.Weights {
+		b.WriteString(row(fmt.Sprintf("%.1f", wa),
+			fmt.Sprintf("%8.4f", r.AutoCE[i]),
+			fmt.Sprintf("%10.4f", r.WithoutDML[i])))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------------- Figure 11b
+
+// Fig11bResult is the incremental-learning ablation over training-data
+// fractions.
+type Fig11bResult struct {
+	Fractions []float64
+	AutoCE    []float64 // with IL + augmentation
+	NoAugment []float64 // IL without Mixup
+	WithoutIL []float64
+	Weight    float64
+}
+
+// Fig11b trains three advisor variants per training fraction.
+func Fig11b(c *Corpus) (*Fig11bResult, error) {
+	const wa = 0.9
+	res := &Fig11bResult{Fractions: []float64{1.0, 0.9, 0.8, 0.7}, Weight: wa}
+	all := c.TrainSamples()
+	for _, frac := range res.Fractions {
+		n := int(frac * float64(len(all)))
+		if n < 2 {
+			n = 2
+		}
+		subset := all[:n]
+
+		evalWith := func(adv *core.Advisor) float64 {
+			return metrics.Mean(EvalSelector(c.Test, wa, func(ld *LabeledDataset) int {
+				return adv.Recommend(ld.Graph, wa).Model
+			}))
+		}
+		// Without IL.
+		advNoIL, err := core.Train(subset, c.AdvisorConfig())
+		if err != nil {
+			return nil, err
+		}
+		res.WithoutIL = append(res.WithoutIL, evalWith(advNoIL))
+		// IL without augmentation.
+		advNoAug, err := core.Train(subset, c.AdvisorConfig())
+		if err != nil {
+			return nil, err
+		}
+		ilNoAug := ilConfig(c)
+		ilNoAug.Augment = false
+		advNoAug.IncrementalLearn(ilNoAug)
+		res.NoAugment = append(res.NoAugment, evalWith(advNoAug))
+		// Full AutoCE.
+		advFull, err := core.Train(subset, c.AdvisorConfig())
+		if err != nil {
+			return nil, err
+		}
+		advFull.IncrementalLearn(ilConfig(c))
+		res.AutoCE = append(res.AutoCE, evalWith(advFull))
+	}
+	return res, nil
+}
+
+func ilConfig(c *Corpus) core.ILConfig {
+	il := core.DefaultILConfig()
+	if c.Scale.Fast {
+		il.Epochs = 4
+	}
+	return il
+}
+
+// Render prints the fraction rows.
+func (r *Fig11bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11(b) — ablation of incremental learning (mean D-error, wa=%.1f)\n", r.Weight)
+	b.WriteString(row("train-frac", "  AutoCE", "NoAugment", "WithoutIL"))
+	b.WriteString("\n")
+	for i, f := range r.Fractions {
+		b.WriteString(row(fmt.Sprintf("%.0f%%", f*100),
+			fmt.Sprintf("%8.4f", r.AutoCE[i]),
+			fmt.Sprintf("%9.4f", r.NoAugment[i]),
+			fmt.Sprintf("%9.4f", r.WithoutIL[i])))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- Figure 12
+
+// Fig12Result compares AutoCE with the online learning methods on
+// selection cost and quality.
+type Fig12Result struct {
+	Counts []int
+	// Minutes[i][m] for m = Sampling, Learning-All, AutoCE.
+	Minutes  [][]float64
+	QErr     []float64 // mean Q-error of chosen model per method
+	DErr     []float64 // mean D-error per method
+	Methods  []string
+	TestSize int
+}
+
+// Fig12 measures wall-clock selection cost at increasing dataset counts
+// and quality over the full test set.
+func Fig12(c *Corpus) (*Fig12Result, error) {
+	autoce, err := c.TrainAutoCE()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{
+		Methods:  []string{"Sampling", "Learning-All", "AutoCE"},
+		TestSize: len(c.Test),
+	}
+	n := len(c.Test)
+	counts := []int{maxInt(1, n/4), maxInt(2, n/2), n}
+	res.Counts = counts
+
+	// Wall-clock per method over the first k test datasets.
+	sampling := advisor.NewSampling(0.25, c.Scale.TestbedConfig(c.Scale.Seed+61))
+	la := advisor.NewLearningAll(c.Scale.TestbedConfig(c.Scale.Seed + 62))
+	const wa = 0.9
+	for _, k := range counts {
+		var mins []float64
+		for _, sel := range []advisor.Selector{sampling, la} {
+			t0 := time.Now()
+			for i := 0; i < k; i++ {
+				sel.Select(c.Test[i].Target(), wa)
+			}
+			mins = append(mins, time.Since(t0).Minutes())
+		}
+		t0 := time.Now()
+		for i := 0; i < k; i++ {
+			autoce.Recommend(c.Test[i].Graph, wa)
+		}
+		mins = append(mins, time.Since(t0).Minutes())
+		res.Minutes = append(res.Minutes, mins)
+	}
+
+	// Quality over the full test set (sampling reuses its cached labels
+	// to avoid double cost; Learning-All is by construction the label's
+	// own best model, i.e. D-error 0).
+	sampLabels, err := c.SamplingLabels(c.Test)
+	if err != nil {
+		return nil, err
+	}
+	idxOf := map[*LabeledDataset]int{}
+	for i, ld := range c.Test {
+		idxOf[ld] = i
+	}
+	chSamp := func(ld *LabeledDataset) int { return sampLabels[idxOf[ld]].BestModel(wa) }
+	chLA := func(ld *LabeledDataset) int { return ld.Label.BestModel(wa) }
+	chAuto := func(ld *LabeledDataset) int { return autoce.Recommend(ld.Graph, wa).Model }
+	for _, ch := range []func(*LabeledDataset) int{chSamp, chLA, chAuto} {
+		q, _ := ChosenPerf(c.Test, ch)
+		res.QErr = append(res.QErr, q)
+		res.DErr = append(res.DErr, metrics.Mean(EvalSelector(c.Test, wa, ch)))
+	}
+	return res, nil
+}
+
+// Render prints efficiency and quality panels.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 12 — AutoCE vs online learning methods\n(a) selection time (minutes)\n")
+	b.WriteString(row("#datasets", "Sampling", "Learn-All", "  AutoCE"))
+	b.WriteString("\n")
+	for i, k := range r.Counts {
+		b.WriteString(row(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%8.3f", r.Minutes[i][0]),
+			fmt.Sprintf("%9.3f", r.Minutes[i][1]),
+			fmt.Sprintf("%8.4f", r.Minutes[i][2])))
+		b.WriteString("\n")
+	}
+	b.WriteString("(b)(c) quality over the test set\n")
+	b.WriteString(row("method", "mean Q-error", "mean D-error"))
+	b.WriteString("\n")
+	for i, m := range r.Methods {
+		b.WriteString(row(m,
+			fmt.Sprintf("%12.2f", r.QErr[i]),
+			fmt.Sprintf("%12.4f", r.DErr[i])))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- Figure 13
+
+// Fig13Result is the online-adapting ablation on drifted datasets.
+type Fig13Result struct {
+	Weights []float64
+	Without []float64
+	With    []float64
+	Drifted int
+}
+
+// Fig13 builds out-of-distribution datasets (real-world-like generators,
+// outside the Pareto training manifold), keeps the ones the advisor flags
+// as drift, adapts on half, and evaluates D-error on the other half.
+func Fig13(c *Corpus) (*Fig13Result, error) {
+	autoce, err := c.TrainAutoCE()
+	if err != nil {
+		return nil, err
+	}
+	n := 24
+	if c.Scale.Fast {
+		n = 10
+	}
+	imdbSubs := datagen.Split(datagen.IMDBLike(c.Scale.Seed+77), n/2, 4, c.Scale.Seed+78)
+	statsSubs := datagen.Split(datagen.STATSLike(c.Scale.Seed+79), n/2, 4, c.Scale.Seed+80)
+	drifted, err := LabelDatasets(append(imdbSubs, statsSubs...), c.Scale, c.FeatCfg, c.Scale.Seed+300000)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the datasets flagged as unexpected; the generators are far
+	// enough off-manifold that most qualify.
+	var ood []*LabeledDataset
+	for _, ld := range drifted {
+		if autoce.DetectDrift(ld.Graph) {
+			ood = append(ood, ld)
+		}
+	}
+	if len(ood) < 4 {
+		ood = drifted // fall back: evaluate on all
+	}
+	adaptSet := ood[:len(ood)/2]
+	evalSet := ood[len(ood)/2:]
+
+	res := &Fig13Result{Weights: []float64{0.9, 0.7, 0.5}, Drifted: len(ood)}
+	for _, wa := range res.Weights {
+		res.Without = append(res.Without, metrics.Mean(EvalSelector(evalSet, wa, func(ld *LabeledDataset) int {
+			return autoce.Recommend(ld.Graph, wa).Model
+		})))
+	}
+	// Online adapting: label each adapt-set dataset (already done) and
+	// update the advisor.
+	epochs := 4
+	if c.Scale.Fast {
+		epochs = 2
+	}
+	for _, ld := range adaptSet {
+		autoce.OnlineAdapt(ld.Sample(), epochs)
+	}
+	for _, wa := range res.Weights {
+		res.With = append(res.With, metrics.Mean(EvalSelector(evalSet, wa, func(ld *LabeledDataset) int {
+			return autoce.Recommend(ld.Graph, wa).Model
+		})))
+	}
+	return res, nil
+}
+
+// Render prints the ablation rows.
+func (r *Fig13Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13 — ablation of online adapting (%d drifted datasets, mean D-error)\n", r.Drifted)
+	b.WriteString(row("wa", "without", "with"))
+	b.WriteString("\n")
+	for i, wa := range r.Weights {
+		b.WriteString(row(fmt.Sprintf("%.1f", wa),
+			fmt.Sprintf("%7.4f", r.Without[i]),
+			fmt.Sprintf("%7.4f", r.With[i])))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

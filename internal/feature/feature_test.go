@@ -1,0 +1,216 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+)
+
+func TestExtractShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, tables := range []int{1, 4} {
+		p := datagen.DefaultParams(int64(tables))
+		p.Tables = tables
+		p.MinRows, p.MaxRows = 60, 120
+		d, err := datagen.Generate("f", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Extract(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVertices() != tables {
+			t.Fatalf("graph has %d vertices, want %d", g.NumVertices(), tables)
+		}
+		for _, row := range g.V {
+			if len(row) != cfg.VertexDim() {
+				t.Fatalf("vertex dim %d, want %d", len(row), cfg.VertexDim())
+			}
+		}
+		if len(g.E) != tables {
+			t.Fatalf("edge matrix has %d rows", len(g.E))
+		}
+	}
+}
+
+func TestVertexDimFormula(t *testing.T) {
+	cfg := Config{MaxCols: 4}
+	// Paper's Example 3 geometry with k=6, m=4: (6+4)*4+2 = 42.
+	if got := cfg.VertexDim(); got != 42 {
+		t.Fatalf("VertexDim = %d, want 42", got)
+	}
+}
+
+func TestEdgeWeightsAreJoinCorrelations(t *testing.T) {
+	p := datagen.DefaultParams(5)
+	p.Tables = 3
+	p.MinRows, p.MaxRows = 80, 150
+	d, err := datagen.Generate("f", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Extract(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fk := range d.FKs {
+		w := g.E[fk.ToTable][fk.FromTable]
+		if w <= 0 || w > 1 {
+			t.Fatalf("edge weight %g outside (0,1]", w)
+		}
+		if g.E[fk.FromTable][fk.ToTable] != w {
+			t.Fatal("edge matrix not symmetric")
+		}
+		if math.Abs(w-fk.Correlation) > 1e-9 {
+			t.Fatalf("edge weight %g differs from measured correlation %g", w, fk.Correlation)
+		}
+	}
+	// Non-joined pairs stay zero.
+	joined := map[[2]int]bool{}
+	for _, fk := range d.FKs {
+		joined[[2]int{fk.ToTable, fk.FromTable}] = true
+		joined[[2]int{fk.FromTable, fk.ToTable}] = true
+	}
+	for i := range g.E {
+		for j := range g.E[i] {
+			if i != j && !joined[[2]int{i, j}] && g.E[i][j] != 0 {
+				t.Fatalf("unexpected edge weight at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestFeatureValuesBounded(t *testing.T) {
+	p := datagen.DefaultParams(6)
+	p.Tables = 2
+	p.MinRows, p.MaxRows = 60, 120
+	d, _ := datagen.Generate("f", p)
+	g, _ := Extract(d, DefaultConfig())
+	for vi, row := range g.V {
+		for fi, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("vertex %d feature %d is %g", vi, fi, x)
+			}
+			if x < -1.5 || x > 1.5 {
+				t.Fatalf("vertex %d feature %d = %g outside normalized range", vi, fi, x)
+			}
+		}
+	}
+}
+
+func TestPaddingZeroesMissingColumns(t *testing.T) {
+	p := datagen.DefaultParams(7)
+	p.MinCols, p.MaxCols = 2, 2
+	p.MinRows, p.MaxRows = 50, 60
+	d, _ := datagen.Generate("f", p)
+	cfg := Config{MaxCols: 6}
+	g, _ := Extract(d, cfg)
+	row := g.V[0]
+	// Columns 2..5 have no features: their k-feature blocks are zero.
+	for c := 2; c < 6; c++ {
+		for f := 0; f < K; f++ {
+			if row[c*K+f] != 0 {
+				t.Fatalf("padded column %d feature %d non-zero", c, f)
+			}
+		}
+	}
+	// Correlation entries involving padded columns are zero.
+	corrBase := K * 6
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			if (a >= 2 || b >= 2) && row[corrBase+a*6+b] != 0 {
+				t.Fatalf("padded correlation (%d,%d) non-zero", a, b)
+			}
+		}
+	}
+}
+
+func TestCorrelationDiagonalIsOne(t *testing.T) {
+	p := datagen.DefaultParams(8)
+	p.MinRows, p.MaxRows = 50, 60
+	d, _ := datagen.Generate("f", p)
+	cfg := DefaultConfig()
+	g, _ := Extract(d, cfg)
+	ncols := d.Tables[0].NumCols()
+	corrBase := K * cfg.MaxCols
+	for c := 0; c < ncols && c < cfg.MaxCols; c++ {
+		if g.V[0][corrBase+c*cfg.MaxCols+c] != 1 {
+			t.Fatalf("diagonal correlation of column %d is %g", c, g.V[0][corrBase+c*cfg.MaxCols+c])
+		}
+	}
+}
+
+func TestMixupConvexity(t *testing.T) {
+	p := datagen.DefaultParams(9)
+	p.Tables = 2
+	p.MinRows, p.MaxRows = 50, 80
+	d1, _ := datagen.Generate("a", p)
+	p.Seed = 10
+	p.Tables = 3
+	d2, _ := datagen.Generate("b", p)
+	cfg := DefaultConfig()
+	g1, _ := Extract(d1, cfg)
+	g2, _ := Extract(d2, cfg)
+
+	lambda := 0.3
+	mixed := Mixup(g1, g2, lambda)
+	if mixed.NumVertices() != 3 {
+		t.Fatalf("mixed graph has %d vertices, want max(2,3)=3", mixed.NumVertices())
+	}
+	// Vertex 0 is the convex combination.
+	for f := range mixed.V[0] {
+		want := lambda*g1.V[0][f] + (1-lambda)*g2.V[0][f]
+		if math.Abs(mixed.V[0][f]-want) > 1e-12 {
+			t.Fatalf("mixed vertex feature %d = %g, want %g", f, mixed.V[0][f], want)
+		}
+	}
+	// Vertex 2 only exists in g2: it is (1-λ)·g2.
+	for f := range mixed.V[2] {
+		want := (1 - lambda) * g2.V[2][f]
+		if math.Abs(mixed.V[2][f]-want) > 1e-12 {
+			t.Fatalf("padded mixed vertex feature %d = %g, want %g", f, mixed.V[2][f], want)
+		}
+	}
+}
+
+func TestMixupLambdaClamped(t *testing.T) {
+	p := datagen.DefaultParams(11)
+	p.MinRows, p.MaxRows = 40, 60
+	d, _ := datagen.Generate("a", p)
+	g, _ := Extract(d, DefaultConfig())
+	m := Mixup(g, g, 5)
+	for i := range m.V {
+		for f := range m.V[i] {
+			if math.Abs(m.V[i][f]-g.V[i][f]) > 1e-12 {
+				t.Fatal("λ>1 should clamp to 1 (identity on gi)")
+			}
+		}
+	}
+}
+
+func TestMixupLabelsProperty(t *testing.T) {
+	f := func(rawL uint8, a, b float64) bool {
+		l := float64(rawL) / 255
+		got := MixupLabels([]float64{a}, []float64{b}, l)
+		want := l*a + (1-l)*b
+		return math.Abs(got[0]-want) < 1e-9 || (math.IsNaN(a) || math.IsNaN(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := datagen.DefaultParams(12)
+	p.MinRows, p.MaxRows = 40, 60
+	d, _ := datagen.Generate("a", p)
+	g, _ := Extract(d, DefaultConfig())
+	c := g.Clone()
+	c.V[0][0] = 999
+	if g.V[0][0] == 999 {
+		t.Fatal("Clone shares vertex storage")
+	}
+}

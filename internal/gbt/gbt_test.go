@@ -1,0 +1,133 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		xs[i] = []float64{a, b}
+		ys[i] = 2*a - b
+	}
+	ens, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := ens.MSELoss(xs, ys); mse > 1.0 {
+		t.Fatalf("linear fit MSE %g too high", mse)
+	}
+}
+
+func TestFitsStepFunction(t *testing.T) {
+	// Trees should nail axis-aligned steps almost exactly.
+	xs := make([][]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		x := float64(i) / 200
+		xs[i] = []float64{x}
+		if x > 0.5 {
+			ys[i] = 10
+		}
+	}
+	ens, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ens.Predict([]float64{0.2}); math.Abs(got) > 0.5 {
+		t.Fatalf("step low side = %g", got)
+	}
+	if got := ens.Predict([]float64{0.9}); math.Abs(got-10) > 0.5 {
+		t.Fatalf("step high side = %g", got)
+	}
+}
+
+func TestBoostingReducesLossMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([][]float64, 300)
+	ys := make([]float64, 300)
+	for i := range xs {
+		a, b := rng.Float64(), rng.Float64()
+		xs[i] = []float64{a, b}
+		ys[i] = math.Sin(5*a) + b*b
+	}
+	cfg := DefaultConfig()
+	prev := math.Inf(1)
+	for _, rounds := range []int{5, 20, 60} {
+		cfg.Rounds = rounds
+		ens, err := Train(xs, ys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse := ens.MSELoss(xs, ys)
+		if mse > prev+1e-9 {
+			t.Fatalf("more rounds increased training loss: %g -> %g", prev, mse)
+		}
+		prev = mse
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := []float64{7, 7, 7}
+	ens, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ens.Predict([]float64{1.5}); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("constant prediction = %g", got)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, DefaultConfig()); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	bad := DefaultConfig()
+	bad.Rounds = 0
+	if _, err := Train([][]float64{{1}}, []float64{1}, bad); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([][]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = []float64{rng.Float64()}
+		ys[i] = rng.Float64()
+	}
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 25 // only a root split into two exact halves could satisfy this
+	ens, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves := ens.NumLeaves(); leaves > cfg.Rounds*2 {
+		t.Fatalf("MinLeaf=25 on 50 samples should cap each tree at 2 leaves, got %d total", leaves)
+	}
+}
+
+func TestDepthZeroIsLeafOnly(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{1, 2, 3, 4}
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 0
+	cfg.Rounds = 3
+	ens, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.NumLeaves() != 3 {
+		t.Fatalf("depth-0 trees should be single leaves, got %d leaves over 3 trees", ens.NumLeaves())
+	}
+}

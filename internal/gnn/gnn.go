@@ -1,0 +1,111 @@
+// Package gnn implements the Graph Isomorphism Network encoder of the
+// paper's Section V-B: L GINConv layers (Eq. 5) followed by sum pooling.
+// Each layer computes
+//
+//	h_i^{l+1} = f_θ( (1+ε)·h_i^l + Σ_{j∈N(i)} e'_{ji}·h_j^l )
+//
+// with f_θ a two-layer MLP, ε a learnable scalar per layer, and e'_{ji}
+// the join correlation on the edge. The encoder maps a feature graph to a
+// fixed-size dataset embedding; the deep-metric-learning loop in
+// internal/core seeds embedding gradients and backpropagates through it.
+package gnn
+
+import (
+	"math/rand"
+
+	"repro/internal/feature"
+	"repro/internal/nn"
+)
+
+// Config controls the encoder architecture.
+type Config struct {
+	// InDim is the vertex feature length (feature.Config.VertexDim()).
+	InDim int
+	// Hidden is the per-layer MLP hidden width and message size.
+	Hidden int
+	// OutDim is the embedding length.
+	OutDim int
+	// Layers is the number of GINConv layers (L).
+	Layers int
+	Seed   int64
+}
+
+// DefaultConfig returns the architecture used by AutoCE.
+func DefaultConfig(inDim int) Config {
+	return Config{InDim: inDim, Hidden: 64, OutDim: 32, Layers: 2, Seed: 7}
+}
+
+// ginLayer is one GINConv: aggregation then a two-layer MLP.
+type ginLayer struct {
+	onePlusEps *nn.Tensor // 1×1 learnable (1+ε)
+	mlp        *nn.MLP
+}
+
+// Encoder is the trained (or trainable) GIN network G.
+type Encoder struct {
+	cfg    Config
+	layers []*ginLayer
+}
+
+// New builds a GIN encoder with Xavier-initialized weights and ε = 0.
+func New(cfg Config) *Encoder {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &Encoder{cfg: cfg}
+	in := cfg.InDim
+	for l := 0; l < cfg.Layers; l++ {
+		out := cfg.Hidden
+		if l == cfg.Layers-1 {
+			out = cfg.OutDim
+		}
+		eps := nn.NewParam(1, 1)
+		eps.V[0] = 1 // (1+ε) with ε=0
+		e.layers = append(e.layers, &ginLayer{
+			onePlusEps: eps,
+			mlp:        nn.NewMLP(rng, []int{in, cfg.Hidden, out}, nn.ActReLU, nn.ActReLU),
+		})
+		in = out
+	}
+	return e
+}
+
+// Params returns all trainable tensors.
+func (e *Encoder) Params() []*nn.Tensor {
+	var out []*nn.Tensor
+	for _, l := range e.layers {
+		out = append(out, l.onePlusEps)
+		out = append(out, l.mlp.Params()...)
+	}
+	return out
+}
+
+// OutDim returns the embedding length.
+func (e *Encoder) OutDim() int { return e.cfg.OutDim }
+
+// Forward encodes a feature graph into a 1×OutDim embedding tensor that is
+// connected to the autodiff graph (call BackwardWithGrad on it to train).
+func (e *Encoder) Forward(g *feature.Graph) *nn.Tensor {
+	n := g.NumVertices()
+	h := nn.FromRows(g.V)
+	adj := nn.FromRows(g.E) // constant n×n aggregation matrix
+	_ = n
+	for _, l := range e.layers {
+		agg := nn.Add(nn.ScaleByScalar(h, l.onePlusEps), nn.MatMul(adj, h))
+		h = l.mlp.Forward(agg)
+	}
+	return nn.SumRows(h)
+}
+
+// Embed encodes a feature graph and returns the embedding as a plain
+// vector (no gradient bookkeeping needed by callers).
+func (e *Encoder) Embed(g *feature.Graph) []float64 {
+	return e.Forward(g).Row(0)
+}
+
+// EmbedAll encodes a slice of graphs.
+func (e *Encoder) EmbedAll(gs []*feature.Graph) [][]float64 {
+	out := make([][]float64, len(gs))
+	for i, g := range gs {
+		out[i] = e.Embed(g)
+	}
+	return out
+}

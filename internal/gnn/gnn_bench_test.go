@@ -1,0 +1,37 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func BenchmarkEncoderForward(b *testing.B) {
+	cfg := DefaultConfig(162) // feature.DefaultConfig().VertexDim()
+	enc := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 5, 162)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Embed(g)
+	}
+}
+
+func BenchmarkEncoderTrainStep(b *testing.B) {
+	cfg := DefaultConfig(162)
+	enc := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 5, 162)
+	opt := nn.NewAdam(enc.Params(), 1e-3)
+	seed := make([]float64, cfg.OutDim)
+	for i := range seed {
+		seed[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := enc.Forward(g)
+		out.BackwardWithGrad(seed)
+		opt.Step()
+	}
+}

@@ -1,0 +1,37 @@
+package gnn
+
+import "fmt"
+
+// State is the serializable form of an Encoder: the architecture plus the
+// flattened parameter values, in Params() order.
+type State struct {
+	Config Config
+	Params [][]float64
+}
+
+// State captures the encoder for persistence.
+func (e *Encoder) State() State {
+	st := State{Config: e.cfg}
+	for _, p := range e.Params() {
+		st.Params = append(st.Params, append([]float64(nil), p.V...))
+	}
+	return st
+}
+
+// FromState reconstructs an encoder from a captured state.
+func FromState(st State) (*Encoder, error) {
+	e := New(st.Config)
+	params := e.Params()
+	if len(params) != len(st.Params) {
+		return nil, fmt.Errorf("gnn: state has %d parameter tensors, architecture needs %d",
+			len(st.Params), len(params))
+	}
+	for i, p := range params {
+		if len(p.V) != len(st.Params[i]) {
+			return nil, fmt.Errorf("gnn: parameter %d has %d values, want %d",
+				i, len(st.Params[i]), len(p.V))
+		}
+		copy(p.V, st.Params[i])
+	}
+	return e, nil
+}

@@ -1,0 +1,215 @@
+// Package metrics implements the evaluation metrics of the paper's Section
+// II and IV-B: Q-error, inference latency aggregation, score normalization
+// across cardinality-estimation models (Eq. 2-4), and the D-error used to
+// measure recommendation quality (Definition 1).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QError returns the Q-error of an estimate against the true cardinality:
+// max(est,true)/min(est,true). Both inputs are clamped to a floor of 1 so
+// the metric is defined for empty results and degenerate estimates, the
+// standard convention in the CE literature.
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// MeanQError returns the mean Q-error over paired estimates and truths.
+// It panics when the slices have different lengths and returns 1 for empty
+// input (the Q-error of a vacuous workload).
+func MeanQError(ests, truths []float64) float64 {
+	if len(ests) != len(truths) {
+		panic(fmt.Sprintf("metrics: MeanQError length mismatch %d vs %d", len(ests), len(truths)))
+	}
+	if len(ests) == 0 {
+		return 1
+	}
+	var s float64
+	for i := range ests {
+		s += QError(ests[i], truths[i])
+	}
+	return s / float64(len(ests))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Perf holds the raw measured performance of one CE model on one dataset:
+// the mean Q-error over the testing queries and the mean inference latency
+// in seconds.
+type Perf struct {
+	QErrorMean  float64
+	LatencyMean float64
+}
+
+// NormalizeScores implements the paper's Eq. 3 and Eq. 4. Given the raw
+// performance of m models on a single dataset, it returns per-model
+// normalized accuracy scores Sa and efficiency scores Se, each in [0,1],
+// where the best model per metric receives 1 and the worst receives 0.
+// When all models tie on a metric, every model receives 1 for it.
+func NormalizeScores(perfs []Perf) (sa, se []float64) {
+	m := len(perfs)
+	sa = make([]float64, m)
+	se = make([]float64, m)
+	if m == 0 {
+		return sa, se
+	}
+	minQ, maxQ := perfs[0].QErrorMean, perfs[0].QErrorMean
+	minT, maxT := perfs[0].LatencyMean, perfs[0].LatencyMean
+	for _, p := range perfs[1:] {
+		minQ = math.Min(minQ, p.QErrorMean)
+		maxQ = math.Max(maxQ, p.QErrorMean)
+		minT = math.Min(minT, p.LatencyMean)
+		maxT = math.Max(maxT, p.LatencyMean)
+	}
+	for i, p := range perfs {
+		if maxQ > minQ {
+			sa[i] = (maxQ - p.QErrorMean) / (maxQ - minQ)
+		} else {
+			sa[i] = 1
+		}
+		if maxT > minT {
+			se[i] = (maxT - p.LatencyMean) / (maxT - minT)
+		} else {
+			se[i] = 1
+		}
+	}
+	return sa, se
+}
+
+// CombineScores implements Eq. 2: S = wa*Sa + we*Se with we = 1-wa.
+// wa is clamped into [0,1].
+func CombineScores(sa, se []float64, wa float64) []float64 {
+	if wa < 0 {
+		wa = 0
+	}
+	if wa > 1 {
+		wa = 1
+	}
+	out := make([]float64, len(sa))
+	for i := range sa {
+		out[i] = wa*sa[i] + (1-wa)*se[i]
+	}
+	return out
+}
+
+// DError implements Definition 1: how far the performance score of the
+// chosen model is from the optimal model's score on the same dataset,
+// (S_opt - S_chosen) / S_chosen. scores is the dataset's combined score
+// vector; chosen is the index of the recommended model. A perfect
+// recommendation yields 0. The chosen score is floored at a small epsilon
+// so a zero-score recommendation yields a large-but-finite error.
+func DError(scores []float64, chosen int) float64 {
+	if len(scores) == 0 || chosen < 0 || chosen >= len(scores) {
+		return math.Inf(1)
+	}
+	opt := scores[0]
+	for _, s := range scores[1:] {
+		if s > opt {
+			opt = s
+		}
+	}
+	sc := scores[chosen]
+	const eps = 1e-3
+	if sc < eps {
+		sc = eps
+	}
+	d := (opt - sc) / sc
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// ArgMax returns the index of the largest element of xs (first winner on
+// ties), or -1 for empty input.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// CosineSimilarity implements Eq. 6, the performance similarity between two
+// score vectors. It returns 0 when either vector has zero norm.
+func CosineSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: CosineSimilarity length mismatch %d vs %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// EuclideanDistance implements Eq. 8 on raw float vectors.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: EuclideanDistance length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

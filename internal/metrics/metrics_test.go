@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQErrorBasics(t *testing.T) {
+	if got := QError(10, 100); got != 10 {
+		t.Fatalf("QError(10,100) = %g", got)
+	}
+	if got := QError(100, 10); got != 10 {
+		t.Fatalf("QError(100,10) = %g", got)
+	}
+	if got := QError(50, 50); got != 1 {
+		t.Fatalf("exact estimate QError = %g", got)
+	}
+	// Clamping: zero estimates and truths behave as 1.
+	if got := QError(0, 5); got != 5 {
+		t.Fatalf("QError(0,5) = %g", got)
+	}
+	if got := QError(5, 0); got != 5 {
+		t.Fatalf("QError(5,0) = %g", got)
+	}
+}
+
+func TestQErrorAlwaysAtLeastOne(t *testing.T) {
+	f := func(a, b float64) bool {
+		return QError(math.Abs(a), math.Abs(b)) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQErrorSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+1, math.Abs(b)+1
+		return math.Abs(QError(a, b)-QError(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanQError(t *testing.T) {
+	got := MeanQError([]float64{10, 100}, []float64{100, 10})
+	if got != 10 {
+		t.Fatalf("MeanQError = %g, want 10", got)
+	}
+	if MeanQError(nil, nil) != 1 {
+		t.Fatal("empty MeanQError should be 1")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %g", got)
+	}
+	if got := Percentile(xs, 90); math.Abs(got-4.6) > 1e-9 {
+		t.Fatalf("P90 = %g, want 4.6", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestNormalizeScores(t *testing.T) {
+	perfs := []Perf{
+		{QErrorMean: 1, LatencyMean: 0.010},  // most accurate, slowest
+		{QErrorMean: 11, LatencyMean: 0.001}, // least accurate, fastest
+		{QErrorMean: 6, LatencyMean: 0.0055},
+	}
+	sa, se := NormalizeScores(perfs)
+	if sa[0] != 1 || sa[1] != 0 {
+		t.Fatalf("accuracy scores %v", sa)
+	}
+	if se[1] != 1 || se[0] != 0 {
+		t.Fatalf("efficiency scores %v", se)
+	}
+	if math.Abs(sa[2]-0.5) > 1e-9 || math.Abs(se[2]-0.5) > 1e-9 {
+		t.Fatalf("midpoint scores sa=%g se=%g", sa[2], se[2])
+	}
+}
+
+func TestNormalizeScoresAllTied(t *testing.T) {
+	perfs := []Perf{{QErrorMean: 2, LatencyMean: 1}, {QErrorMean: 2, LatencyMean: 1}}
+	sa, se := NormalizeScores(perfs)
+	for i := range perfs {
+		if sa[i] != 1 || se[i] != 1 {
+			t.Fatalf("tied scores should be 1: sa=%v se=%v", sa, se)
+		}
+	}
+}
+
+func TestNormalizeScoresInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		perfs := make([]Perf, n)
+		for i := range perfs {
+			perfs[i] = Perf{QErrorMean: 1 + rng.Float64()*100, LatencyMean: rng.Float64()}
+		}
+		sa, se := NormalizeScores(perfs)
+		for i := range perfs {
+			if sa[i] < 0 || sa[i] > 1 || se[i] < 0 || se[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombineScores(t *testing.T) {
+	sa := []float64{1, 0}
+	se := []float64{0, 1}
+	s := CombineScores(sa, se, 0.7)
+	if math.Abs(s[0]-0.7) > 1e-12 || math.Abs(s[1]-0.3) > 1e-12 {
+		t.Fatalf("combined = %v", s)
+	}
+	// Weight clamping.
+	s2 := CombineScores(sa, se, 1.5)
+	if s2[0] != 1 {
+		t.Fatalf("clamped combine = %v", s2)
+	}
+}
+
+func TestDError(t *testing.T) {
+	scores := []float64{0.9, 0.6, 0.3}
+	if got := DError(scores, 0); got != 0 {
+		t.Fatalf("optimal choice D-error = %g", got)
+	}
+	if got := DError(scores, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("D-error = %g, want 0.5", got)
+	}
+	if got := DError(scores, 2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("D-error = %g, want 2", got)
+	}
+	if !math.IsInf(DError(scores, -1), 1) {
+		t.Fatal("invalid index should give +Inf")
+	}
+	// Zero-score choice is floored, not infinite.
+	if got := DError([]float64{1, 0}, 1); math.IsInf(got, 1) {
+		t.Fatal("zero-score choice should be finite")
+	}
+}
+
+func TestDErrorNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		return DError(scores, rng.Intn(n)) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{1, 5, 3}); got != 1 {
+		t.Fatalf("ArgMax = %d", got)
+	}
+	if got := ArgMax([]float64{5, 5, 3}); got != 0 {
+		t.Fatalf("tie ArgMax = %d, want first", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Fatalf("empty ArgMax = %d", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := CosineSimilarity(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self similarity = %g", got)
+	}
+	if got := CosineSimilarity(a, b); got != 0 {
+		t.Fatalf("orthogonal similarity = %g", got)
+	}
+	if got := CosineSimilarity(a, []float64{0, 0}); got != 0 {
+		t.Fatalf("zero-vector similarity = %g", got)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if got := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); got != 5 {
+		t.Fatalf("distance = %g, want 5", got)
+	}
+}
+
+func TestEuclideanTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a, b, c := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		return EuclideanDistance(a, c) <= EuclideanDistance(a, b)+EuclideanDistance(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty Mean should be 0")
+	}
+}

@@ -1,0 +1,85 @@
+package nn
+
+import "math/rand"
+
+// Activation selects the nonlinearity of a dense layer.
+type Activation int
+
+// Supported activations.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+func applyAct(a Activation, t *Tensor) *Tensor {
+	switch a {
+	case ActReLU:
+		return ReLU(t)
+	case ActSigmoid:
+		return Sigmoid(t)
+	case ActTanh:
+		return Tanh(t)
+	default:
+		return t
+	}
+}
+
+// Dense is a fully connected layer y = act(x@W + b).
+type Dense struct {
+	W, B *Tensor
+	Act  Activation
+}
+
+// NewDense returns a Dense layer with Xavier-initialized weights.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	return &Dense{W: XavierParam(rng, in, out), B: NewParam(1, out), Act: act}
+}
+
+// Forward applies the layer to x (m×in).
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	return applyAct(d.Act, AddBias(MatMul(x, d.W), d.B))
+}
+
+// Params returns the layer's trainable tensors.
+func (d *Dense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
+
+// MLP is a stack of Dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds an MLP with the given layer sizes (len >= 2); hidden layers
+// use hiddenAct and the output layer uses outAct.
+func NewMLP(rng *rand.Rand, sizes []int, hiddenAct, outAct Activation) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i+2 == len(sizes) {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewDense(rng, sizes[i], sizes[i+1], act))
+	}
+	return m
+}
+
+// Forward applies all layers in order.
+func (m *MLP) Forward(x *Tensor) *Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Params returns all trainable tensors of the MLP.
+func (m *MLP) Params() []*Tensor {
+	var out []*Tensor
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

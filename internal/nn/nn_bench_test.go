@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMulForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(32, 64, randMatrixValues(rng, 32, 64))
+	w := New(64, 64, randMatrixValues(rng, 64, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, w)
+	}
+}
+
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	mlp := NewMLP(rng, []int{64, 64, 32, 1}, ActReLU, ActNone)
+	x := New(16, 64, randMatrixValues(rng, 16, 64))
+	target := make([]float64, 16)
+	opt := NewAdam(mlp.Params(), 1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := MSE(mlp.Forward(x), target)
+		loss.Backward()
+		opt.Step()
+	}
+}
+
+func BenchmarkMaskedMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(16, 80, randMatrixValues(rng, 16, 80))
+	w := New(80, 40, randMatrixValues(rng, 80, 40))
+	mask := make([]float64, 80*40)
+	for i := range mask {
+		if rng.Float64() < 0.5 {
+			mask[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaskedMatMul(x, w, mask)
+	}
+}

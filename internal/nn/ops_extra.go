@@ -1,0 +1,120 @@
+package nn
+
+import "fmt"
+
+// SliceCols returns columns [lo, hi) of a as a new tensor in the autodiff
+// graph. The autoregressive estimators use it to extract per-column logit
+// blocks from a MADE-style network output.
+func SliceCols(a *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > a.C || lo >= hi {
+		panic(fmt.Sprintf("nn: SliceCols [%d,%d) of %d columns", lo, hi, a.C))
+	}
+	w := hi - lo
+	out := Zeros(a.R, w)
+	for i := 0; i < a.R; i++ {
+		copy(out.V[i*w:(i+1)*w], a.V[i*a.C+lo:i*a.C+hi])
+	}
+	out.prev = []*Tensor{a}
+	out.back = func() {
+		if a.needsGrad() {
+			a.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < w; j++ {
+					a.G[i*a.C+lo+j] += out.G[i*w+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SumScalars adds 1×1 tensors into one 1×1 tensor — used to combine
+// per-column losses.
+func SumScalars(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: SumScalars of nothing")
+	}
+	out := Zeros(1, 1)
+	for _, t := range ts {
+		if t.R != 1 || t.C != 1 {
+			panic("nn: SumScalars with non-scalar input")
+		}
+		out.V[0] += t.V[0]
+	}
+	parents := append([]*Tensor(nil), ts...)
+	out.prev = parents
+	out.back = func() {
+		for _, t := range parents {
+			if t.needsGrad() {
+				t.ensureGrad()
+				t.G[0] += out.G[0]
+			}
+		}
+	}
+	return out
+}
+
+// MaskedMatMul returns a @ (w ∘ mask) where mask is a constant 0/1 matrix
+// the same shape as w. It implements MADE's masked dense layers: the mask
+// is applied to the weight values on every call, so gradients into masked
+// positions are also zeroed (the product rule with a constant zero).
+func MaskedMatMul(a, w *Tensor, mask []float64) *Tensor {
+	if len(mask) != w.R*w.C {
+		panic(fmt.Sprintf("nn: MaskedMatMul mask len %d for %dx%d", len(mask), w.R, w.C))
+	}
+	if a.C != w.R {
+		panic(fmt.Sprintf("nn: MaskedMatMul %dx%d @ %dx%d", a.R, a.C, w.R, w.C))
+	}
+	out := Zeros(a.R, w.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.V[i*a.C : (i+1)*a.C]
+		orow := out.V[i*w.C : (i+1)*w.C]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			wrow := w.V[k*w.C : (k+1)*w.C]
+			mrow := mask[k*w.C : (k+1)*w.C]
+			for j := range wrow {
+				orow[j] += av * wrow[j] * mrow[j]
+			}
+		}
+	}
+	out.prev = []*Tensor{a, w}
+	out.back = func() {
+		if a.needsGrad() {
+			a.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				grow := out.G[i*w.C : (i+1)*w.C]
+				agrow := a.G[i*a.C : (i+1)*a.C]
+				for k := 0; k < a.C; k++ {
+					wrow := w.V[k*w.C : (k+1)*w.C]
+					mrow := mask[k*w.C : (k+1)*w.C]
+					var s float64
+					for j, gv := range grow {
+						s += gv * wrow[j] * mrow[j]
+					}
+					agrow[k] += s
+				}
+			}
+		}
+		if w.needsGrad() {
+			w.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				arow := a.V[i*a.C : (i+1)*a.C]
+				grow := out.G[i*w.C : (i+1)*w.C]
+				for k, av := range arow {
+					if av == 0 {
+						continue
+					}
+					wgrow := w.G[k*w.C : (k+1)*w.C]
+					mrow := mask[k*w.C : (k+1)*w.C]
+					for j, gv := range grow {
+						wgrow[j] += av * gv * mrow[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step()
+	// ZeroGrad clears the gradients without updating.
+	ZeroGrad()
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	Params []*Tensor
+	LR     float64
+	// Clip, when positive, bounds the absolute value of each gradient
+	// element before the update.
+	Clip float64
+}
+
+// NewSGD returns an SGD optimizer over params.
+func NewSGD(params []*Tensor, lr float64) *SGD {
+	return &SGD{Params: params, LR: lr, Clip: 5}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	for _, p := range o.Params {
+		for i := range p.V {
+			g := p.G[i]
+			if o.Clip > 0 {
+				g = clamp(g, -o.Clip, o.Clip)
+			}
+			p.V[i] -= o.LR * g
+			p.G[i] = 0
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (o *SGD) ZeroGrad() { zeroAll(o.Params) }
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction
+// and optional gradient clipping.
+type Adam struct {
+	Params []*Tensor
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Clip   float64
+
+	m, v [][]float64
+	t    int
+}
+
+// NewAdam returns an Adam optimizer with standard hyperparameters.
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.V))
+		a.v[i] = make([]float64, len(p.V))
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range a.Params {
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.V {
+			g := p.G[i]
+			if a.Clip > 0 {
+				g = clamp(g, -a.Clip, a.Clip)
+			}
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.V[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() { zeroAll(a.Params) }
+
+func zeroAll(params []*Tensor) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

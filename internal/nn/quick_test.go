@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the tensor algebra: the autodiff ops must satisfy the
+// algebraic identities of the underlying linear algebra, and gradients must
+// be linear in the seed.
+
+func randMatrixValues(rng *rand.Rand, r, c int) []float64 {
+	v := make([]float64, r*c)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 2+rng.Intn(3), 2+rng.Intn(3), 2+rng.Intn(3)
+		a := New(m, k, randMatrixValues(rng, m, k))
+		b := New(k, n, randMatrixValues(rng, k, n))
+		c := New(k, n, randMatrixValues(rng, k, n))
+		// a@(b+c) == a@b + a@c
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		for i := range lhs.V {
+			if math.Abs(lhs.V[i]-rhs.V[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(2, 3, randMatrixValues(rng, 2, 3))
+		b := New(3, 4, randMatrixValues(rng, 3, 4))
+		c := New(4, 2, randMatrixValues(rng, 4, 2))
+		lhs := MatMul(MatMul(a, b), c)
+		rhs := MatMul(a, MatMul(b, c))
+		for i := range lhs.V {
+			if math.Abs(lhs.V[i]-rhs.V[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradientLinearInSeed(t *testing.T) {
+	// Backprop is linear: seeding with 2g must produce exactly twice the
+	// parameter gradients of seeding with g.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w1 := XavierParam(rng, 3, 4)
+		x := New(2, 3, randMatrixValues(rng, 2, 3))
+		g := randMatrixValues(rng, 2, 4)
+
+		run := func(scale float64) []float64 {
+			w1.ZeroGrad()
+			out := ReLU(MatMul(x, w1))
+			seed := make([]float64, len(g))
+			for i := range seed {
+				seed[i] = g[i] * scale
+			}
+			out.BackwardWithGrad(seed)
+			return append([]float64(nil), w1.G...)
+		}
+		g1 := run(1)
+		g2 := run(2)
+		for i := range g1 {
+			if math.Abs(g2[i]-2*g1[i]) > 1e-9*(1+math.Abs(g1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumRowsEqualsManualSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := New(r, c, randMatrixValues(rng, r, c))
+		s := SumRows(a)
+		for j := 0; j < c; j++ {
+			var want float64
+			for i := 0; i < r; i++ {
+				want += a.At(i, j)
+			}
+			if math.Abs(s.V[j]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLUIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(3, 3, randMatrixValues(rng, 3, 3))
+		once := ReLU(a)
+		twice := ReLU(once)
+		for i := range once.V {
+			if once.V[i] != twice.V[i] {
+				return false
+			}
+			if once.V[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidRangeAndMonotone(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		a := New(1, 2, []float64{x, y})
+		s := Sigmoid(a)
+		if s.V[0] < 0 || s.V[0] > 1 || s.V[1] < 0 || s.V[1] > 1 {
+			return false
+		}
+		if x < y && s.V[0] > s.V[1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

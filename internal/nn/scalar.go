@@ -1,0 +1,35 @@
+package nn
+
+import "fmt"
+
+// ScaleByScalar returns a scaled elementwise by the single value of s
+// (a 1×1 tensor), with gradients flowing into both a and s. GIN uses it
+// for the learnable (1+ε) self-loop weight of Eq. 5.
+func ScaleByScalar(a, s *Tensor) *Tensor {
+	if s.R != 1 || s.C != 1 {
+		panic(fmt.Sprintf("nn: ScaleByScalar with %dx%d scalar", s.R, s.C))
+	}
+	out := Zeros(a.R, a.C)
+	sv := s.V[0]
+	for i := range out.V {
+		out.V[i] = a.V[i] * sv
+	}
+	out.prev = []*Tensor{a, s}
+	out.back = func() {
+		if a.needsGrad() {
+			a.ensureGrad()
+			for i := range out.G {
+				a.G[i] += out.G[i] * sv
+			}
+		}
+		if s.needsGrad() {
+			s.ensureGrad()
+			var acc float64
+			for i := range out.G {
+				acc += out.G[i] * a.V[i]
+			}
+			s.G[0] += acc
+		}
+	}
+	return out
+}

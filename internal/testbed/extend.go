@@ -1,0 +1,109 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/ce"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// This file implements the paper's extensibility claim (Section IV-B): "To
+// incorporate a new cardinality estimation baseline into AutoCE, we deploy
+// the baseline to the cardinality estimation testbed, which conducts the
+// dataset labeling and produces the corresponding score vectors."
+// RunWithModels labels a dataset against an arbitrary candidate set, so a
+// new estimator only has to implement one of the ce training interfaces.
+
+// Summary selects how per-query Q-errors aggregate into the accuracy
+// measurement. The paper uses the mean and notes other percentiles are
+// possible (Section IV-B2).
+type Summary int
+
+// Supported aggregate statistics.
+const (
+	SummaryMean Summary = iota
+	SummaryP50
+	SummaryP95
+	SummaryP99
+)
+
+func summarize(s Summary, xs []float64) float64 {
+	switch s {
+	case SummaryP50:
+		return metrics.Percentile(xs, 50)
+	case SummaryP95:
+		return metrics.Percentile(xs, 95)
+	case SummaryP99:
+		return metrics.Percentile(xs, 99)
+	default:
+		return metrics.Mean(xs)
+	}
+}
+
+// ExtendedConfig widens Config with the Q-error summary statistic.
+type ExtendedConfig struct {
+	Config
+	// QErrorSummary picks the accuracy aggregate (default mean).
+	QErrorSummary Summary
+}
+
+// RunWithModels labels one dataset against the caller's own candidate set.
+// The models slice defines the score-vector positions; every entry must be
+// untrained and implement ce.DataDriven, ce.QueryDriven, or ce.Hybrid. The
+// returned Label has Perfs, Sa, and Se of length len(models), normalized
+// among those candidates (Eq. 3-4).
+func RunWithModels(d *dataset.Dataset, models []ce.Estimator, cfg ExtendedConfig) (*Label, time.Duration, error) {
+	start := time.Now()
+	if len(models) < 2 {
+		return nil, 0, fmt.Errorf("testbed: need at least two candidate models, got %d", len(models))
+	}
+	qs := workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
+	train, test := workload.Split(qs, cfg.TrainFrac, cfg.Seed+1)
+	if len(train) == 0 || len(test) == 0 {
+		return nil, 0, fmt.Errorf("testbed: degenerate workload split")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	sample := engine.SampleJoin(d, cfg.SampleRows, rng)
+	sizes := ce.ComputeSubsetSizes(d)
+
+	for i, m := range models {
+		if sa, ok := m.(ce.SizeAware); ok {
+			sa.SetSubsetSizes(sizes)
+		}
+		var err error
+		switch tm := m.(type) {
+		case ce.Hybrid:
+			err = tm.TrainBoth(d, sample, train)
+		case ce.DataDriven:
+			err = tm.TrainData(d, sample)
+		case ce.QueryDriven:
+			err = tm.TrainQueries(d, train)
+		default:
+			err = fmt.Errorf("implements no training interface")
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("testbed: training model %d (%s): %w", i, m.Name(), err)
+		}
+	}
+
+	label := &Label{DatasetName: d.Name, Perfs: make([]metrics.Perf, len(models))}
+	for i, m := range models {
+		qerrs := make([]float64, len(test))
+		t0 := time.Now()
+		for qi, q := range test {
+			qerrs[qi] = metrics.QError(m.Estimate(q), float64(q.TrueCard))
+		}
+		elapsed := time.Since(t0)
+		label.Perfs[i] = metrics.Perf{
+			QErrorMean:  summarize(cfg.QErrorSummary, qerrs),
+			LatencyMean: elapsed.Seconds() / float64(len(test)),
+		}
+	}
+	label.Sa, label.Se = metrics.NormalizeScores(label.Perfs)
+	return label, time.Since(start), nil
+}

@@ -1,0 +1,114 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/ce"
+	"repro/internal/ce/flat"
+	"repro/internal/ce/pglike"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// rowCountModel is a deliberately naive "newly-emerged" estimator used to
+// exercise the extensibility path: it estimates every query as the product
+// of the involved tables' row counts (no selectivity at all). It only has
+// to implement ce.DataDriven to join the testbed.
+type rowCountModel struct {
+	d *dataset.Dataset
+}
+
+func (m *rowCountModel) Name() string { return "RowCount" }
+
+func (m *rowCountModel) TrainData(d *dataset.Dataset, _ *engine.JoinSample) error {
+	m.d = d
+	return nil
+}
+
+func (m *rowCountModel) Estimate(q *workload.Query) float64 {
+	est := 1.0
+	for _, ti := range q.Tables {
+		est *= float64(m.d.Tables[ti].Rows())
+	}
+	return est
+}
+
+func TestRunWithModelsIncorporatesNewBaseline(t *testing.T) {
+	d := fixture(t, 2, 7)
+	cfg := ExtendedConfig{Config: fastCfg(7)}
+	models := []ce.Estimator{pglike.New(), &rowCountModel{}}
+	label, elapsed, err := RunWithModels(d, models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("non-positive labeling time")
+	}
+	if len(label.Perfs) != 2 || len(label.Sa) != 2 {
+		t.Fatalf("label sized %d/%d, want 2/2", len(label.Perfs), len(label.Sa))
+	}
+	// The histogram model must beat the naive row-count model on accuracy,
+	// so normalization puts it at 1.
+	if label.Sa[0] != 1 || label.Sa[1] != 0 {
+		t.Fatalf("accuracy scores %v; pglike should dominate the naive baseline", label.Sa)
+	}
+}
+
+func TestRunWithModelsPercentileSummary(t *testing.T) {
+	d := fixture(t, 1, 8)
+	for _, s := range []Summary{SummaryMean, SummaryP50, SummaryP95, SummaryP99} {
+		cfg := ExtendedConfig{Config: fastCfg(8), QErrorSummary: s}
+		label, _, err := RunWithModels(d, []ce.Estimator{pglike.New(), &rowCountModel{}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range label.Perfs {
+			if p.QErrorMean < 1 {
+				t.Fatalf("summary %d model %d: aggregate %g < 1", s, i, p.QErrorMean)
+			}
+		}
+	}
+	// P99 of the naive model should be at least its median.
+	cfgP50 := ExtendedConfig{Config: fastCfg(8), QErrorSummary: SummaryP50}
+	cfgP99 := ExtendedConfig{Config: fastCfg(8), QErrorSummary: SummaryP99}
+	l50, _, err := RunWithModels(d, []ce.Estimator{pglike.New(), &rowCountModel{}}, cfgP50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l99, _, err := RunWithModels(d, []ce.Estimator{pglike.New(), &rowCountModel{}}, cfgP99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l99.Perfs[1].QErrorMean < l50.Perfs[1].QErrorMean {
+		t.Fatalf("P99 %g < P50 %g", l99.Perfs[1].QErrorMean, l50.Perfs[1].QErrorMean)
+	}
+}
+
+func TestRunWithModelsRejectsDegenerateInput(t *testing.T) {
+	d := fixture(t, 1, 9)
+	if _, _, err := RunWithModels(d, []ce.Estimator{pglike.New()}, ExtendedConfig{Config: fastCfg(9)}); err == nil {
+		t.Fatal("single-model candidate set accepted")
+	}
+}
+
+func TestRunWithModelsOnboardsFLAT(t *testing.T) {
+	// The paper's Section VIII highlights FLAT as a newly emerged
+	// data-driven model; onboarding it is exactly one registry entry
+	// through the extensible labeling path.
+	d := fixture(t, 2, 10)
+	cfg := ExtendedConfig{Config: fastCfg(10)}
+	models := []ce.Estimator{flat.New(flat.DefaultConfig()), pglike.New(), &rowCountModel{}}
+	label, _, err := RunWithModels(d, models, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(label.Sa) != 3 {
+		t.Fatalf("score vector length %d", len(label.Sa))
+	}
+	// FLAT must at least beat the naive row-count baseline on accuracy.
+	if label.Perfs[0].QErrorMean >= label.Perfs[2].QErrorMean {
+		t.Fatalf("FLAT Q-error %g no better than row-count %g",
+			label.Perfs[0].QErrorMean, label.Perfs[2].QErrorMean)
+	}
+}

@@ -1,0 +1,60 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ce"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// RunQueryDriven labels a dataset with the query-driven models only, on an
+// externally supplied workload — the protocol of the paper's Table III
+// (CEB benchmark), where the data-driven models are skipped for cost. The
+// returned Label has full-length vectors; non-query-driven positions carry
+// zero scores and zero Perfs and must not be interpreted.
+func RunQueryDriven(d *dataset.Dataset, train, test []*workload.Query, cfg Config) (*Label, error) {
+	if len(train) == 0 || len(test) == 0 {
+		return nil, fmt.Errorf("testbed: empty query-driven workload")
+	}
+	models := buildModels(cfg)
+	qd := QueryDrivenSet()
+	label := &Label{
+		DatasetName: d.Name,
+		Perfs:       make([]metrics.Perf, NumModels),
+		Sa:          make([]float64, NumCandidates),
+		Se:          make([]float64, NumCandidates),
+	}
+	var perfs []metrics.Perf
+	for _, mi := range qd {
+		qm, ok := models[mi].(ce.QueryDriven)
+		if !ok {
+			return nil, fmt.Errorf("testbed: model %s is not query-driven", ModelNames[mi])
+		}
+		if err := qm.TrainQueries(d, train); err != nil {
+			return nil, fmt.Errorf("testbed: training %s: %w", ModelNames[mi], err)
+		}
+		ests := make([]float64, len(test))
+		truths := make([]float64, len(test))
+		t0 := time.Now()
+		for qi, q := range test {
+			ests[qi] = qm.Estimate(q)
+			truths[qi] = float64(q.TrueCard)
+		}
+		elapsed := time.Since(t0)
+		p := metrics.Perf{
+			QErrorMean:  metrics.MeanQError(ests, truths),
+			LatencyMean: elapsed.Seconds() / float64(len(test)),
+		}
+		label.Perfs[mi] = p
+		perfs = append(perfs, p)
+	}
+	sa, se := metrics.NormalizeScores(perfs)
+	for i, mi := range qd {
+		label.Sa[mi] = sa[i]
+		label.Se[mi] = se[i]
+	}
+	return label, nil
+}

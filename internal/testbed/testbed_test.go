@@ -1,0 +1,170 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+func fixture(t *testing.T, tables int, seed int64) *dataset.Dataset {
+	t.Helper()
+	p := datagen.Params{
+		Tables:  tables,
+		MinCols: 2, MaxCols: 3,
+		MinRows: 100, MaxRows: 200,
+		Domain: 30,
+		SkewLo: 0, SkewHi: 1,
+		CorrLo: 0, CorrHi: 0.7,
+		JoinLo: 0.4, JoinHi: 1,
+		Seed: seed,
+	}
+	d, err := datagen.Generate("tb", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func fastCfg(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.NumQueries = 60
+	cfg.SampleRows = 300
+	cfg.Fast = true
+	return cfg
+}
+
+func TestRunLabelsSingleTableDataset(t *testing.T) {
+	d := fixture(t, 1, 1)
+	res, err := Run(d, fastCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Label
+	if len(l.Perfs) != NumModels {
+		t.Fatalf("got %d perfs, want %d", len(l.Perfs), NumModels)
+	}
+	for i, p := range l.Perfs {
+		if p.QErrorMean < 1 {
+			t.Fatalf("model %s mean Q-error %g < 1", ModelNames[i], p.QErrorMean)
+		}
+		if p.LatencyMean < 0 {
+			t.Fatalf("model %s negative latency", ModelNames[i])
+		}
+	}
+	// Normalized scores are in [0,1] with at least one 1 and one 0 per
+	// metric (unless tied, which nine distinct models never are here).
+	checkScores := func(name string, s []float64) {
+		var has1, has0 bool
+		for _, v := range s {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s score %g outside [0,1]", name, v)
+			}
+			if v == 1 {
+				has1 = true
+			}
+			if v == 0 {
+				has0 = true
+			}
+		}
+		if !has1 || !has0 {
+			t.Fatalf("%s scores not min-max normalized: %v", name, s)
+		}
+	}
+	checkScores("accuracy", l.Sa)
+	checkScores("efficiency", l.Se)
+}
+
+func TestRunLabelsMultiTableDataset(t *testing.T) {
+	d := fixture(t, 3, 2)
+	res, err := Run(d, fastCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Label
+	// Estimation sanity: every model must beat a blind guess of 1 on mean
+	// Q-error by a wide margin... except that weak models can be bad; we
+	// only require finiteness and a plausible upper bound.
+	for i, p := range l.Perfs {
+		if p.QErrorMean > 1e6 {
+			t.Fatalf("model %s mean Q-error %g implausible", ModelNames[i], p.QErrorMean)
+		}
+	}
+	// Latency ordering that the paper's Figure 1(c) relies on: the
+	// sampling-based autoregressive models are the slowest.
+	ncLat := l.Perfs[ModelNeuroCard].LatencyMean
+	lwLat := l.Perfs[ModelLWNN].LatencyMean
+	if ncLat <= lwLat {
+		t.Fatalf("NeuroCard latency %g should exceed LW-NN latency %g", ncLat, lwLat)
+	}
+}
+
+func TestScoreVectorAndBestModel(t *testing.T) {
+	d := fixture(t, 1, 3)
+	l, err := LabelOnly(d, fastCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wa := range []float64{0, 0.5, 1} {
+		sv := l.ScoreVector(wa)
+		if len(sv) != NumCandidates {
+			t.Fatalf("score vector length %d", len(sv))
+		}
+		full := l.FullScoreVector(wa)
+		if len(full) != NumModels {
+			t.Fatalf("full score vector length %d", len(full))
+		}
+		best := l.BestModel(wa)
+		if best != metrics.ArgMax(sv) {
+			t.Fatal("BestModel disagrees with ArgMax")
+		}
+	}
+	// wa=1 best is the accuracy winner; wa=0 best is the latency winner.
+	if l.BestModel(1) != metrics.ArgMax(l.Sa) {
+		t.Fatal("wa=1 should select the accuracy winner")
+	}
+	if l.BestModel(0) != metrics.ArgMax(l.Se) {
+		t.Fatal("wa=0 should select the efficiency winner")
+	}
+}
+
+func TestQueryDrivenSet(t *testing.T) {
+	qd := QueryDrivenSet()
+	if len(qd) != 3 {
+		t.Fatalf("query-driven set size %d", len(qd))
+	}
+	for _, i := range qd {
+		switch ModelNames[i] {
+		case "MSCN", "LW-NN", "LW-XGB":
+		default:
+			t.Fatalf("unexpected query-driven model %s", ModelNames[i])
+		}
+	}
+}
+
+func TestModelsBeatBlindGuessOnAccuracy(t *testing.T) {
+	// On an easy single-table dataset, the best model should have a low
+	// mean Q-error, and the spread across models should be non-trivial
+	// (otherwise score vectors carry no signal for the advisor).
+	d := fixture(t, 1, 4)
+	l, err := LabelOnly(d, fastCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, worst := l.Perfs[0].QErrorMean, l.Perfs[0].QErrorMean
+	for _, p := range l.Perfs[1:] {
+		if p.QErrorMean < best {
+			best = p.QErrorMean
+		}
+		if p.QErrorMean > worst {
+			worst = p.QErrorMean
+		}
+	}
+	if best > 5 {
+		t.Fatalf("best model's mean Q-error %g is too high for an easy dataset", best)
+	}
+	if worst/best < 1.05 {
+		t.Fatalf("no spread across models: best %g worst %g", best, worst)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Encoder maps queries over one dataset to fixed-size feature vectors, the
+// representation consumed by the query-driven estimators. It follows the
+// MSCN-family encoding: a table-set one-hot block, a join-set one-hot
+// block, and a per-column predicate block holding (present, lo, hi)
+// normalized into [0,1] by the column's value range.
+type Encoder struct {
+	d *dataset.Dataset
+	// colIndex maps (table,col) to a dense column slot.
+	colIndex map[[2]int]int
+	// colLo and colRange cache per-slot normalization constants.
+	colLo, colRange []float64
+	numTables       int
+	numJoins        int
+}
+
+// NewEncoder builds an encoder for dataset d.
+func NewEncoder(d *dataset.Dataset) *Encoder {
+	e := &Encoder{
+		d:         d,
+		colIndex:  map[[2]int]int{},
+		numTables: len(d.Tables),
+		numJoins:  len(d.FKs),
+	}
+	for ti, t := range d.Tables {
+		for ci, c := range t.Cols {
+			e.colIndex[[2]int{ti, ci}] = len(e.colLo)
+			lo, hi := c.MinMax()
+			e.colLo = append(e.colLo, float64(lo))
+			r := float64(hi - lo)
+			if r <= 0 {
+				r = 1
+			}
+			e.colRange = append(e.colRange, r)
+		}
+	}
+	return e
+}
+
+// Dim returns the encoded vector length.
+func (e *Encoder) Dim() int { return e.numTables + e.numJoins + 3*len(e.colLo) }
+
+// TableDim, JoinDim and PredDim expose the block sizes for set-structured
+// models (MSCN treats the blocks as separate sets).
+func (e *Encoder) TableDim() int { return e.numTables }
+func (e *Encoder) JoinDim() int  { return e.numJoins }
+func (e *Encoder) PredDim() int  { return 3 * len(e.colLo) }
+
+// Encode returns the flat feature vector of q.
+func (e *Encoder) Encode(q *Query) []float64 {
+	v := make([]float64, e.Dim())
+	for _, ti := range q.Tables {
+		v[ti] = 1
+	}
+	base := e.numTables
+	for _, j := range q.Joins {
+		for fi, fk := range e.d.FKs {
+			if fk.FromTable == j.LeftTable && fk.FromCol == j.LeftCol &&
+				fk.ToTable == j.RightTable && fk.ToCol == j.RightCol {
+				v[base+fi] = 1
+			}
+		}
+	}
+	pb := e.numTables + e.numJoins
+	for _, p := range q.Preds {
+		slot, ok := e.colIndex[[2]int{p.Table, p.Col}]
+		if !ok {
+			continue
+		}
+		v[pb+3*slot] = 1
+		v[pb+3*slot+1] = (float64(p.Lo) - e.colLo[slot]) / e.colRange[slot]
+		v[pb+3*slot+2] = (float64(p.Hi) - e.colLo[slot]) / e.colRange[slot]
+	}
+	return v
+}
+
+// EncodeBatch encodes a slice of queries into a row-major matrix.
+func (e *Encoder) EncodeBatch(qs []*Query) [][]float64 {
+	out := make([][]float64, len(qs))
+	for i, q := range qs {
+		out[i] = e.Encode(q)
+	}
+	return out
+}
+
+// LogCard returns the training target for a query: log(1 + truecard).
+// Query-driven models regress this and invert with ExpCard.
+func LogCard(card int64) float64 {
+	if card < 0 {
+		card = 0
+	}
+	return math.Log1p(float64(card))
+}
+
+// ExpCard inverts LogCard and floors the result at 1.
+func ExpCard(y float64) float64 {
+	c := math.Expm1(y)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
