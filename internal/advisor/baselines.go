@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/metrics"
 	"repro/internal/testbed"
@@ -130,6 +131,9 @@ func (s *Sampling) Name() string { return "Sampling" }
 func (s *Sampling) Select(t Target, wa float64) int {
 	sampled := SampleDataset(t.Dataset, s.Fraction, s.Cfg.Seed)
 	res, err := testbed.Run(sampled, s.Cfg)
+	// The sampled dataset is discarded after the run; drop its cached
+	// join index so the cache entry does not pin it in memory.
+	engine.InvalidateIndex(sampled)
 	if err != nil {
 		return -1
 	}

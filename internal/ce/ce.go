@@ -78,9 +78,13 @@ type SubsetSizes struct {
 }
 
 // ComputeSubsetSizes enumerates the connected subsets of d's join graph
-// (including singletons) and evaluates their unfiltered join sizes.
+// (including singletons) and evaluates their unfiltered join sizes. All
+// 2^n evaluations run on one dedicated evaluator over the dataset's shared
+// join index: unfiltered acyclic counts reduce to lookups over the
+// prehashed per-value multiplicities.
 func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
 	ss := &SubsetSizes{sizes: map[string]int64{}, d: d}
+	ev := engine.NewEvaluator(d)
 	n := len(d.Tables)
 	for mask := 1; mask < 1<<uint(n); mask++ {
 		var tables []int
@@ -101,7 +105,7 @@ func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
 				})
 			}
 		}
-		ss.sizes[SubsetKey(tables)] = engine.Cardinality(d, q)
+		ss.sizes[SubsetKey(tables)] = ev.Cardinality(q)
 	}
 	return ss
 }

@@ -6,14 +6,30 @@
 // draw their training samples from its full-join materialization.
 //
 // Queries are conjunctions of per-column range predicates over a connected
-// set of tables joined along PK-FK equi-join edges. Evaluation filters each
-// base table, then folds the tables together with hash joins in join-graph
-// order, counting result tuples.
+// set of tables joined along PK-FK equi-join edges. Evaluation is columnar
+// and count-propagating: each table's predicates reduce to a reusable
+// selection vector, and acyclic join components are counted by propagating
+// per-value multiplicities up the join tree instead of materializing
+// intermediate tuples, so time and memory scale with the base tables
+// rather than the join result. Only cycle edges (and SampleJoin, which
+// genuinely needs rows) fall back to tuple materialization.
+//
+// Three entry tiers trade convenience for control:
+//
+//   - Cardinality / Selectivity / CrossProductSize: one-shot helpers that
+//     draw a pooled Evaluator from the dataset's cached Index.
+//   - Evaluator: owns all scratch buffers; repeated calls allocate
+//     nothing. One per goroutine.
+//   - CardinalityBatch: labels a whole workload through a worker pool
+//     sharing one Index — the Stage-1 labeling fast path.
+//
+// The per-dataset Index (prehashed join-key columns) is cached globally by
+// dataset identity; callers that mutate a dataset in place must call
+// InvalidateIndex.
 package engine
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/dataset"
 )
@@ -73,184 +89,35 @@ func (q *Query) Validate(d *dataset.Dataset) error {
 	return nil
 }
 
-// filterTable returns the row indexes of table ti that satisfy every
-// predicate on that table.
-func filterTable(d *dataset.Dataset, q *Query, ti int) []int32 {
-	t := d.Tables[ti]
-	n := t.Rows()
-	var preds []Predicate
-	for _, p := range q.Preds {
-		if p.Table == ti {
-			preds = append(preds, p)
-		}
-	}
-	rows := make([]int32, 0, n)
-	for r := 0; r < n; r++ {
-		ok := true
-		for _, p := range preds {
-			if !p.Matches(t.Col(p.Col).Data[r]) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			rows = append(rows, int32(r))
-		}
-	}
-	return rows
-}
-
-// Cardinality returns the exact number of result tuples of q over d.
-// Single-table queries are a plain filtered count; multi-table queries are
-// evaluated by folding hash joins over the join edges in an order that
-// keeps the intermediate connected.
+// Cardinality returns the exact number of result tuples of q over d,
+// through a pooled evaluator on the dataset's shared cached index. For
+// many queries against the same dataset prefer CardinalityBatch or a
+// dedicated Evaluator.
 func Cardinality(d *dataset.Dataset, q *Query) int64 {
-	rowsets := make(map[int][]int32, len(q.Tables))
-	for _, ti := range q.Tables {
-		rowsets[ti] = filterTable(d, q, ti)
-		if len(rowsets[ti]) == 0 {
-			return 0
-		}
-	}
-	if len(q.Tables) == 1 {
-		return int64(len(rowsets[q.Tables[0]]))
-	}
-
-	joined := map[int]int{}
-
-	// Seed with the first table of the first join.
-	first := q.Joins[0].LeftTable
-	joined[first] = 0
-	current := make([][]int32, 0, len(rowsets[first]))
-	for _, r := range rowsets[first] {
-		current = append(current, []int32{r})
-	}
-
-	remaining := append([]Join(nil), q.Joins...)
-	for len(remaining) > 0 {
-		// Pick a join with exactly one side already in the intermediate.
-		pick := -1
-		for i, j := range remaining {
-			_, l := joined[j.LeftTable]
-			_, r := joined[j.RightTable]
-			if l != r {
-				pick = i
-				break
-			}
-			if l && r {
-				pick = i // both joined: a cycle edge, handled as a filter
-				break
-			}
-		}
-		if pick == -1 {
-			// Disconnected join graph; treat the rest as a cross product
-			// with the first remaining join's component. The workload
-			// generator never produces this, but stay defensive.
-			pick = 0
-			j := remaining[0]
-			if _, ok := joined[j.LeftTable]; !ok {
-				idx := len(joined)
-				joined[j.LeftTable] = idx
-				next := make([][]int32, 0, len(current)*len(rowsets[j.LeftTable]))
-				for _, tp := range current {
-					for _, r := range rowsets[j.LeftTable] {
-						nt := make([]int32, len(tp)+1)
-						copy(nt, tp)
-						nt[len(tp)] = r
-						next = append(next, nt)
-					}
-				}
-				current = next
-			}
-		}
-		j := remaining[pick]
-		remaining = append(remaining[:pick], remaining[pick+1:]...)
-
-		_, lIn := joined[j.LeftTable]
-		_, rIn := joined[j.RightTable]
-		switch {
-		case lIn && rIn:
-			// Cycle edge: filter current tuples.
-			li, ri := joined[j.LeftTable], joined[j.RightTable]
-			lcol := d.Tables[j.LeftTable].Col(j.LeftCol).Data
-			rcol := d.Tables[j.RightTable].Col(j.RightCol).Data
-			next := current[:0]
-			for _, tp := range current {
-				if lcol[tp[li]] == rcol[tp[ri]] {
-					next = append(next, tp)
-				}
-			}
-			current = next
-		case lIn:
-			current = hashExtend(d, current, joined, j.LeftTable, j.LeftCol, j.RightTable, j.RightCol, rowsets)
-			joined[j.RightTable] = len(joined)
-		default:
-			current = hashExtend(d, current, joined, j.RightTable, j.RightCol, j.LeftTable, j.LeftCol, rowsets)
-			joined[j.LeftTable] = len(joined)
-		}
-		if len(current) == 0 {
-			return 0
-		}
-	}
-	// Tables listed in the query but not covered by any join edge
-	// contribute via cross product.
-	result := int64(len(current))
-	for _, ti := range q.Tables {
-		if _, ok := joined[ti]; !ok {
-			result *= int64(len(rowsets[ti]))
-		}
-	}
-	return result
-}
-
-// hashExtend joins the current intermediate (which contains inTable) with
-// newTable on inCol = newCol using a hash table over the new table's
-// filtered rows.
-func hashExtend(d *dataset.Dataset, current [][]int32, joined map[int]int,
-	inTable, inCol, newTable, newCol int, rowsets map[int][]int32) [][]int32 {
-	ht := make(map[int64][]int32)
-	newData := d.Tables[newTable].Col(newCol).Data
-	for _, r := range rowsets[newTable] {
-		v := newData[r]
-		ht[v] = append(ht[v], r)
-	}
-	inIdx := joined[inTable]
-	inData := d.Tables[inTable].Col(inCol).Data
-	next := make([][]int32, 0, len(current))
-	for _, tp := range current {
-		matches := ht[inData[tp[inIdx]]]
-		for _, r := range matches {
-			nt := make([]int32, len(tp)+1)
-			copy(nt, tp)
-			nt[len(tp)] = r
-			next = append(next, nt)
-		}
-	}
-	return next
+	ix := IndexFor(d)
+	e := ix.acquire()
+	c := e.Cardinality(q)
+	ix.release(e)
+	return c
 }
 
 // Selectivity returns the fraction of the unfiltered join result that q's
-// predicates keep. It evaluates both the predicated query and its
-// predicate-free counterpart; useful in tests and the cost model.
+// predicates keep; the two underlying counts share one evaluator and the
+// dataset's index.
 func Selectivity(d *dataset.Dataset, q *Query) float64 {
-	full := *q
-	full.Preds = nil
-	denom := Cardinality(d, &full)
-	if denom == 0 {
-		return 0
-	}
-	return float64(Cardinality(d, q)) / float64(denom)
+	ix := IndexFor(d)
+	e := ix.acquire()
+	s := e.Selectivity(q)
+	ix.release(e)
+	return s
 }
 
 // CrossProductSize returns the product of the (filtered) table sizes,
 // the upper bound used by cost models; it saturates at MaxInt64.
 func CrossProductSize(d *dataset.Dataset, q *Query) float64 {
-	prod := 1.0
-	for _, ti := range q.Tables {
-		prod *= float64(len(filterTable(d, q, ti)))
-		if prod > math.MaxInt64 {
-			return math.MaxInt64
-		}
-	}
-	return prod
+	ix := IndexFor(d)
+	e := ix.acquire()
+	s := e.CrossProductSize(q)
+	ix.release(e)
+	return s
 }

@@ -1,0 +1,571 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Evaluator executes queries against one dataset through its shared Index,
+// owning all scratch memory the evaluation needs: per-table selection
+// vectors, multiplicity-map pools for the count-propagating join fold, and
+// flat tuple buffers for the cycle-edge fallback. Repeated calls on a
+// warmed evaluator allocate nothing.
+//
+// An Evaluator is not safe for concurrent use; the Index it wraps is. Use
+// one Evaluator per goroutine (CardinalityBatch does this internally) or
+// the package-level Cardinality/Selectivity functions, which draw pooled
+// evaluators from the dataset's cached Index.
+type Evaluator struct {
+	d  *dataset.Dataset
+	ix *Index
+
+	// Per-table selection scratch, indexed by dataset table id. selAll
+	// marks tables with no predicates, whose selection is implicitly every
+	// row (never materialized); selRows holds the surviving row ids of
+	// predicated tables; selCount is the selection size either way.
+	selRows  [][]int32
+	selAll   []bool
+	selCount []int64
+
+	predBuf []Predicate
+
+	// Count-propagation scratch: pools of reusable value->multiplicity
+	// maps and dense arrays, and the child-message stack shared across
+	// the tree recursion.
+	mapPool   []map[int64]int64
+	densePool [][]int64
+	msgStack  []childMsg
+
+	// Component-analysis scratch (union-find roots, membership flags).
+	ufParent []int
+	inJoin   []bool
+	compDone []bool
+	compTbls []int
+	compEdge []Join
+
+	// Cycle-fallback scratch: two flat tuple buffers (ping-pong), the
+	// per-table slot assignment, a chained hash table over filtered rows,
+	// and the used-edge flags of the fold.
+	tupA, tupB []int32
+	slot       []int
+	bound      []bool
+	edgeUsed   []bool
+	ht         map[int64]int32
+	chain      []int32
+}
+
+// message is a value -> multiplicity mapping flowing up the join tree,
+// either dense (flat array indexed by value-base, for the narrow column
+// domains the datasets are built from) or map-backed. borrowed messages
+// alias ColIndex storage and must not be modified or recycled.
+type message struct {
+	dense    []int64
+	base     int64
+	counts   map[int64]int64 // nil when dense
+	borrowed bool
+}
+
+// get returns the multiplicity of value v.
+func (m *message) get(v int64) int64 {
+	if m.dense != nil {
+		i := v - m.base
+		if uint64(i) < uint64(len(m.dense)) {
+			return m.dense[i]
+		}
+		return 0
+	}
+	return m.counts[v]
+}
+
+// childMsg pairs a child's message with the parent-side column data the
+// parent probes it with.
+type childMsg struct {
+	msg  message
+	data []int64
+}
+
+// NewEvaluator returns an evaluator over d backed by the dataset's shared
+// cached Index.
+func NewEvaluator(d *dataset.Dataset) *Evaluator {
+	ix := IndexFor(d)
+	return newEvaluator(d, ix)
+}
+
+func newEvaluator(d *dataset.Dataset, ix *Index) *Evaluator {
+	nt := len(d.Tables)
+	return &Evaluator{
+		d:        d,
+		ix:       ix,
+		selRows:  make([][]int32, nt),
+		selAll:   make([]bool, nt),
+		selCount: make([]int64, nt),
+		ufParent: make([]int, nt),
+		inJoin:   make([]bool, nt),
+		compDone: make([]bool, nt),
+		slot:     make([]int, nt),
+		bound:    make([]bool, nt),
+		ht:       make(map[int64]int32),
+	}
+}
+
+// Dataset returns the dataset this evaluator executes against.
+func (e *Evaluator) Dataset() *dataset.Dataset { return e.d }
+
+// filter computes the selection of table ti under q's predicates into the
+// evaluator's reusable per-table buffers and returns its size. Tables
+// without predicates are marked selAll and never materialized.
+func (e *Evaluator) filter(q *Query, ti int) int64 {
+	t := e.d.Tables[ti]
+	n := t.Rows()
+	preds := e.predBuf[:0]
+	for _, p := range q.Preds {
+		if p.Table == ti {
+			preds = append(preds, p)
+		}
+	}
+	e.predBuf = preds
+	if len(preds) == 0 {
+		e.selAll[ti] = true
+		e.selCount[ti] = int64(n)
+		return int64(n)
+	}
+	e.selAll[ti] = false
+	rows := e.selRows[ti][:0]
+	for r := 0; r < n; r++ {
+		ok := true
+		for _, p := range preds {
+			if !p.Matches(t.Col(p.Col).Data[r]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, int32(r))
+		}
+	}
+	e.selRows[ti] = rows
+	e.selCount[ti] = int64(len(rows))
+	return int64(len(rows))
+}
+
+// Cardinality returns the exact number of result tuples of q. Per-table
+// selections feed a count-propagating fold over the join graph: acyclic
+// components never materialize tuples — each table sends its parent a
+// value -> multiplicity message — and only components with cycle edges
+// fall back to (flat, buffer-reused) tuple materialization. Components and
+// join-free tables combine by product.
+func (e *Evaluator) Cardinality(q *Query) int64 {
+	if len(q.Tables) == 0 {
+		return 0
+	}
+	for _, ti := range q.Tables {
+		if e.filter(q, ti) == 0 {
+			return 0
+		}
+	}
+	if len(q.Tables) == 1 && len(q.Joins) == 0 {
+		return e.selCount[q.Tables[0]]
+	}
+
+	// Union-find the join graph into connected components.
+	for _, ti := range q.Tables {
+		e.ufParent[ti] = ti
+		e.inJoin[ti] = false
+		e.compDone[ti] = false
+	}
+	for _, j := range q.Joins {
+		e.inJoin[j.LeftTable] = true
+		e.inJoin[j.RightTable] = true
+		e.union(j.LeftTable, j.RightTable)
+	}
+
+	total := int64(1)
+	for _, ti := range q.Tables {
+		if !e.inJoin[ti] {
+			// Join-free table: contributes its filtered count by cross
+			// product.
+			total *= e.selCount[ti]
+			continue
+		}
+		root := e.find(ti)
+		if e.compDone[root] {
+			continue
+		}
+		e.compDone[root] = true
+		tbls := e.compTbls[:0]
+		for _, t2 := range q.Tables {
+			if e.inJoin[t2] && e.find(t2) == root {
+				tbls = append(tbls, t2)
+			}
+		}
+		edges := e.compEdge[:0]
+		for _, j := range q.Joins {
+			if e.find(j.LeftTable) == root {
+				edges = append(edges, j)
+			}
+		}
+		e.compTbls, e.compEdge = tbls, edges
+
+		var c int64
+		if len(edges) == len(tbls)-1 {
+			c = e.treeCount(tbls, edges)
+		} else {
+			c = e.cyclicCount(tbls, edges)
+		}
+		if c == 0 {
+			return 0
+		}
+		total *= c
+	}
+	return total
+}
+
+func (e *Evaluator) find(x int) int {
+	for e.ufParent[x] != x {
+		e.ufParent[x] = e.ufParent[e.ufParent[x]]
+		x = e.ufParent[x]
+	}
+	return x
+}
+
+func (e *Evaluator) union(a, b int) {
+	ra, rb := e.find(a), e.find(b)
+	if ra != rb {
+		e.ufParent[ra] = rb
+	}
+}
+
+// treeCount counts an acyclic join component by multiplicity propagation:
+// rooted at tbls[0], every table aggregates the product of its children's
+// messages over its filtered rows, keyed by the join column toward its
+// parent. The root sums instead of keying. No tuple is ever materialized.
+func (e *Evaluator) treeCount(tbls []int, edges []Join) int64 {
+	root := tbls[0]
+	base := len(e.msgStack)
+	e.pushChildren(root, -1, edges)
+	children := e.msgStack[base:]
+
+	t0 := e.d.Tables[root]
+	var total int64
+	if e.selAll[root] {
+		n := t0.Rows()
+		for r := 0; r < n; r++ {
+			total += e.rowWeight(children, r)
+		}
+	} else {
+		for _, r := range e.selRows[root] {
+			total += e.rowWeight(children, int(r))
+		}
+	}
+	e.popChildren(base)
+	return total
+}
+
+// treeMsg computes the message of table ti toward its parent: the
+// multiplicity of each value of column keyCol over ti's filtered rows,
+// each row weighted by the product of its children's messages. Leaf tables
+// without predicates borrow the prehashed ColIndex storage directly;
+// narrow-domain key columns aggregate into a pooled dense array, wide ones
+// into a pooled map.
+func (e *Evaluator) treeMsg(ti, parent int, edges []Join, keyCol int) message {
+	base := len(e.msgStack)
+	e.pushChildren(ti, parent, edges)
+	children := e.msgStack[base:]
+
+	ci := e.ix.Col(ti, keyCol)
+	if len(children) == 0 && e.selAll[ti] {
+		e.popChildren(base)
+		if ci.Dense != nil {
+			return message{dense: ci.Dense, base: ci.Lo, borrowed: true}
+		}
+		return message{counts: ci.Counts, borrowed: true}
+	}
+
+	var out message
+	keyData := e.d.Tables[ti].Col(keyCol).Data
+	if ci.Dense != nil {
+		out = message{dense: e.getDense(len(ci.Dense)), base: ci.Lo}
+		if e.selAll[ti] {
+			n := e.d.Tables[ti].Rows()
+			for r := 0; r < n; r++ {
+				if w := e.rowWeight(children, r); w != 0 {
+					out.dense[keyData[r]-out.base] += w
+				}
+			}
+		} else {
+			for _, r := range e.selRows[ti] {
+				if w := e.rowWeight(children, int(r)); w != 0 {
+					out.dense[keyData[r]-out.base] += w
+				}
+			}
+		}
+	} else {
+		out = message{counts: e.getMap()}
+		if e.selAll[ti] {
+			n := e.d.Tables[ti].Rows()
+			for r := 0; r < n; r++ {
+				if w := e.rowWeight(children, r); w != 0 {
+					out.counts[keyData[r]] += w
+				}
+			}
+		} else {
+			for _, r := range e.selRows[ti] {
+				if w := e.rowWeight(children, int(r)); w != 0 {
+					out.counts[keyData[r]] += w
+				}
+			}
+		}
+	}
+	e.popChildren(base)
+	return out
+}
+
+// rowWeight multiplies the children's multiplicities for row r; a missing
+// key in any child message zeroes the row.
+func (e *Evaluator) rowWeight(children []childMsg, r int) int64 {
+	w := int64(1)
+	for i := range children {
+		w *= children[i].msg.get(children[i].data[r])
+		if w == 0 {
+			return 0
+		}
+	}
+	return w
+}
+
+// pushChildren evaluates the messages of every neighbor of ti except
+// parent and pushes them (paired with ti's probe column data) onto the
+// message stack.
+func (e *Evaluator) pushChildren(ti, parent int, edges []Join) {
+	for _, j := range edges {
+		var other, otherCol, myCol int
+		switch {
+		case j.LeftTable == ti && j.RightTable != parent:
+			other, otherCol, myCol = j.RightTable, j.RightCol, j.LeftCol
+		case j.RightTable == ti && j.LeftTable != parent:
+			other, otherCol, myCol = j.LeftTable, j.LeftCol, j.RightCol
+		default:
+			continue
+		}
+		msg := e.treeMsg(other, ti, edges, otherCol)
+		e.msgStack = append(e.msgStack, childMsg{
+			msg:  msg,
+			data: e.d.Tables[ti].Col(myCol).Data,
+		})
+	}
+}
+
+// popChildren releases owned messages above base and truncates the stack.
+func (e *Evaluator) popChildren(base int) {
+	for i := base; i < len(e.msgStack); i++ {
+		msg := &e.msgStack[i].msg
+		if !msg.borrowed {
+			if msg.dense != nil {
+				e.densePool = append(e.densePool, msg.dense)
+			} else {
+				e.putMap(msg.counts)
+			}
+		}
+		e.msgStack[i] = childMsg{}
+	}
+	e.msgStack = e.msgStack[:base]
+}
+
+func (e *Evaluator) getMap() map[int64]int64 {
+	if n := len(e.mapPool); n > 0 {
+		m := e.mapPool[n-1]
+		e.mapPool = e.mapPool[:n-1]
+		return m
+	}
+	return make(map[int64]int64)
+}
+
+func (e *Evaluator) putMap(m map[int64]int64) {
+	clear(m)
+	e.mapPool = append(e.mapPool, m)
+}
+
+// getDense returns a zeroed dense buffer of the given length from the pool.
+func (e *Evaluator) getDense(n int) []int64 {
+	if l := len(e.densePool); l > 0 {
+		d := e.densePool[l-1]
+		e.densePool = e.densePool[:l-1]
+		if cap(d) < n {
+			return make([]int64, n)
+		}
+		d = d[:n]
+		clear(d)
+		return d
+	}
+	return make([]int64, n)
+}
+
+// cyclicCount counts a join component that contains cycle edges (or
+// parallel/self edges) by the materializing fold: tuples live in a flat
+// reused buffer with one int32 slot per component table, join edges either
+// extend the tuple set through a hash lookup or — when both sides are
+// already bound — filter it in place.
+func (e *Evaluator) cyclicCount(tbls []int, edges []Join) int64 {
+	stride := len(tbls)
+	for i, ti := range tbls {
+		e.slot[ti] = i
+		e.bound[ti] = false
+	}
+	bound := e.bound
+
+	// Seed with the first edge's left table.
+	seed := edges[0].LeftTable
+	cur := e.tupA[:0]
+	if e.selAll[seed] {
+		n := e.d.Tables[seed].Rows()
+		for r := 0; r < n; r++ {
+			cur = appendTuple(cur, stride, e.slot[seed], int32(r))
+		}
+	} else {
+		for _, r := range e.selRows[seed] {
+			cur = appendTuple(cur, stride, e.slot[seed], r)
+		}
+	}
+	bound[seed] = true
+	nTup := len(cur) / stride
+
+	if cap(e.edgeUsed) < len(edges) {
+		e.edgeUsed = make([]bool, len(edges))
+	}
+	used := e.edgeUsed[:len(edges)]
+	for i := range used {
+		used[i] = false
+	}
+
+	for done := 0; done < len(edges); done++ {
+		pick := -1
+		for i, j := range edges {
+			if used[i] {
+				continue
+			}
+			if bound[j.LeftTable] || bound[j.RightTable] {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			// Unreachable for a connected component; guard anyway.
+			break
+		}
+		j := edges[pick]
+		used[pick] = true
+		lIn, rIn := bound[j.LeftTable], bound[j.RightTable]
+		switch {
+		case lIn && rIn:
+			// Cycle edge: filter tuples in place.
+			lcol := e.d.Tables[j.LeftTable].Col(j.LeftCol).Data
+			rcol := e.d.Tables[j.RightTable].Col(j.RightCol).Data
+			ls, rs := e.slot[j.LeftTable], e.slot[j.RightTable]
+			out := 0
+			for i := 0; i < nTup; i++ {
+				tp := cur[i*stride : (i+1)*stride]
+				if lcol[tp[ls]] == rcol[tp[rs]] {
+					copy(cur[out*stride:], tp)
+					out++
+				}
+			}
+			nTup = out
+			cur = cur[:nTup*stride]
+		case lIn:
+			cur, nTup = e.extendFlat(cur, nTup, stride, j.LeftTable, j.LeftCol, j.RightTable, j.RightCol)
+			bound[j.RightTable] = true
+		default:
+			cur, nTup = e.extendFlat(cur, nTup, stride, j.RightTable, j.RightCol, j.LeftTable, j.LeftCol)
+			bound[j.LeftTable] = true
+		}
+		if nTup == 0 {
+			e.tupA = cur[:0]
+			return 0
+		}
+	}
+	e.tupA = cur[:0]
+	return int64(nTup)
+}
+
+func appendTuple(buf []int32, stride, slot int, r int32) []int32 {
+	n := len(buf)
+	for i := 0; i < stride; i++ {
+		buf = append(buf, 0)
+	}
+	buf[n+slot] = r
+	return buf
+}
+
+// extendFlat joins the flat tuple set (bound through inTable.inCol) with
+// newTable.newCol. The probe side is the tuple set; the build side is
+// either the shared ColIndex (unpredicated table) or a chained hash over
+// the reusable selection vector. The result lands in the evaluator's
+// second tuple buffer, which is swapped with the first.
+func (e *Evaluator) extendFlat(cur []int32, nTup, stride, inTable, inCol, newTable, newCol int) ([]int32, int) {
+	inData := e.d.Tables[inTable].Col(inCol).Data
+	inSlot, newSlot := e.slot[inTable], e.slot[newTable]
+	dst := e.tupB[:0]
+
+	if e.selAll[newTable] {
+		ci := e.ix.Col(newTable, newCol)
+		for i := 0; i < nTup; i++ {
+			tp := cur[i*stride : (i+1)*stride]
+			for _, r := range ci.Rows[inData[tp[inSlot]]] {
+				n := len(dst)
+				dst = append(dst, tp...)
+				dst[n+newSlot] = r
+			}
+		}
+	} else {
+		rows := e.selRows[newTable]
+		newData := e.d.Tables[newTable].Col(newCol).Data
+		clear(e.ht)
+		if cap(e.chain) < len(rows) {
+			e.chain = make([]int32, len(rows))
+		}
+		chain := e.chain[:len(rows)]
+		for i, r := range rows {
+			v := newData[r]
+			chain[i] = e.ht[v]
+			e.ht[v] = int32(i + 1)
+		}
+		for i := 0; i < nTup; i++ {
+			tp := cur[i*stride : (i+1)*stride]
+			for pos := e.ht[inData[tp[inSlot]]]; pos != 0; pos = chain[pos-1] {
+				n := len(dst)
+				dst = append(dst, tp...)
+				dst[n+newSlot] = rows[pos-1]
+			}
+		}
+	}
+	e.tupB = cur[:0] // old buffer becomes the next scratch target
+	e.tupA = dst
+	return dst, len(dst) / stride
+}
+
+// Selectivity returns the fraction of the unfiltered join result that q's
+// predicates keep. Both passes share the evaluator's index; the
+// predicate-free pass runs on borrowed per-value counts and performs no
+// filtering at all, fixing the former double evaluation of filterTable.
+func (e *Evaluator) Selectivity(q *Query) float64 {
+	full := Query{Tables: q.Tables, Joins: q.Joins}
+	denom := e.Cardinality(&full)
+	if denom == 0 {
+		return 0
+	}
+	return float64(e.Cardinality(q)) / float64(denom)
+}
+
+// CrossProductSize returns the product of the filtered table sizes, the
+// upper bound used by cost models; it saturates at MaxInt64.
+func (e *Evaluator) CrossProductSize(q *Query) float64 {
+	prod := 1.0
+	for _, ti := range q.Tables {
+		prod *= float64(e.filter(q, ti))
+		if prod > math.MaxInt64 {
+			return math.MaxInt64
+		}
+	}
+	return prod
+}

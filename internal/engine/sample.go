@@ -31,6 +31,11 @@ type ColRef struct{ Table, Col int }
 // the table itself. Tables disconnected from the join graph contribute via
 // cross product, which matches the semantics of a query listing them with
 // no join edge; the synthetic generator always produces connected schemas.
+//
+// Unlike Cardinality, sampling genuinely needs rows, so this is the one
+// engine path that still materializes the join — into a flat slot-per-table
+// tuple buffer, with the build side of every hash join served by the
+// dataset's shared ColIndex.
 func SampleJoin(d *dataset.Dataset, maxRows int, rng *rand.Rand) *JoinSample {
 	allTables := make([]int, len(d.Tables))
 	for i := range allTables {
@@ -68,16 +73,20 @@ func SampleJoin(d *dataset.Dataset, maxRows int, rng *rand.Rand) *JoinSample {
 		return js
 	}
 
-	tuples := materializeJoin(d, q)
-	js.FullJoinSize = int64(len(tuples))
-	order := joinTableOrder(d, q)
+	tuples, order := materializeJoin(d, q)
+	stride := len(order)
+	nTup := 0
+	if stride > 0 {
+		nTup = len(tuples) / stride
+	}
+	js.FullJoinSize = int64(nTup)
 	pos := map[int]int{}
 	for i, ti := range order {
 		pos[ti] = i
 	}
-	idx := reservoirIndexes(len(tuples), maxRows, rng)
+	idx := reservoirIndexes(nTup, maxRows, rng)
 	for _, r := range idx {
-		tp := tuples[r]
+		tp := tuples[r*stride : (r+1)*stride]
 		row := make([]int64, len(js.Cols))
 		for j, cr := range js.Cols {
 			row[j] = d.Tables[cr.Table].Col(cr.Col).Data[tp[pos[cr.Table]]]
@@ -119,25 +128,28 @@ func reservoirIndexes(n, k int, rng *rand.Rand) []int {
 }
 
 // materializeJoin evaluates the unfiltered join of q and returns the raw
-// tuples (row index per table, in joinTableOrder). It reuses the
-// Cardinality fold but keeps the tuples.
-func materializeJoin(d *dataset.Dataset, q *Query) [][]int32 {
-	rowsets := make(map[int][]int32, len(q.Tables))
-	for _, ti := range q.Tables {
-		n := d.Tables[ti].Rows()
-		rows := make([]int32, n)
-		for r := range rows {
-			rows[r] = int32(r)
-		}
-		rowsets[ti] = rows
+// tuples as a flat buffer: one int32 row id per table of the returned
+// order, tuple i occupying tuples[i*len(order) : (i+1)*len(order)]. Hash
+// build sides come from the dataset's cached ColIndex, so repeated
+// materializations against one dataset share the per-column hashing work.
+func materializeJoin(d *dataset.Dataset, q *Query) (tuples []int32, order []int) {
+	order = joinTableOrder(d, q)
+	stride := len(order)
+	if stride == 0 {
+		return nil, order
 	}
-	order := joinTableOrder(d, q)
-	joined := map[int]int{order[0]: 0}
-	current := make([][]int32, 0, len(rowsets[order[0]]))
-	for _, r := range rowsets[order[0]] {
-		current = append(current, []int32{r})
+	ix := IndexFor(d)
+	pos := map[int]int{}
+	for i, ti := range order {
+		pos[ti] = i
 	}
-	used := map[int]bool{}
+
+	cur := make([]int32, 0, d.Tables[order[0]].Rows()*stride)
+	for r := 0; r < d.Tables[order[0]].Rows(); r++ {
+		cur = appendTuple(cur, stride, 0, int32(r))
+	}
+	joined := map[int]bool{order[0]: true}
+	used := make([]bool, len(q.Joins))
 	for _, ti := range order[1:] {
 		// Find a join edge connecting ti to the joined set.
 		found := false
@@ -145,64 +157,72 @@ func materializeJoin(d *dataset.Dataset, q *Query) [][]int32 {
 			if used[ji] {
 				continue
 			}
-			if j.LeftTable == ti {
-				if _, ok := joined[j.RightTable]; ok {
-					current = hashExtend(d, current, joined, j.RightTable, j.RightCol, ti, j.LeftCol, rowsets)
-					joined[ti] = len(joined)
-					used[ji] = true
-					found = true
-					break
+			var inT, inC, newC int
+			switch {
+			case j.LeftTable == ti && joined[j.RightTable]:
+				inT, inC, newC = j.RightTable, j.RightCol, j.LeftCol
+			case j.RightTable == ti && joined[j.LeftTable]:
+				inT, inC, newC = j.LeftTable, j.LeftCol, j.RightCol
+			default:
+				continue
+			}
+			inData := d.Tables[inT].Col(inC).Data
+			inSlot, newSlot := pos[inT], pos[ti]
+			ci := ix.Col(ti, newC)
+			next := make([]int32, 0, len(cur))
+			for i := 0; i < len(cur); i += stride {
+				tp := cur[i : i+stride]
+				for _, r := range ci.Rows[inData[tp[inSlot]]] {
+					n := len(next)
+					next = append(next, tp...)
+					next[n+newSlot] = r
 				}
 			}
-			if j.RightTable == ti {
-				if _, ok := joined[j.LeftTable]; ok {
-					current = hashExtend(d, current, joined, j.LeftTable, j.LeftCol, ti, j.RightCol, rowsets)
-					joined[ti] = len(joined)
-					used[ji] = true
-					found = true
-					break
-				}
-			}
+			cur = next
+			joined[ti] = true
+			used[ji] = true
+			found = true
+			break
 		}
 		if !found {
 			// Cross product with a disconnected table.
-			next := make([][]int32, 0, len(current)*len(rowsets[ti]))
-			for _, tp := range current {
-				for _, r := range rowsets[ti] {
-					nt := make([]int32, len(tp)+1)
-					copy(nt, tp)
-					nt[len(tp)] = r
-					next = append(next, nt)
+			n := d.Tables[ti].Rows()
+			slot := pos[ti]
+			next := make([]int32, 0, len(cur)*n)
+			for i := 0; i < len(cur); i += stride {
+				tp := cur[i : i+stride]
+				for r := 0; r < n; r++ {
+					k := len(next)
+					next = append(next, tp...)
+					next[k+slot] = int32(r)
 				}
 			}
-			current = next
-			joined[ti] = len(joined)
+			cur = next
+			joined[ti] = true
 		}
-		if len(current) == 0 {
-			return nil
+		if len(cur) == 0 {
+			return nil, order
 		}
 	}
 	// Apply any remaining cycle edges as filters.
 	for ji, j := range q.Joins {
-		if used[ji] {
-			continue
-		}
-		li, lok := joined[j.LeftTable]
-		ri, rok := joined[j.RightTable]
-		if !lok || !rok {
+		if used[ji] || !joined[j.LeftTable] || !joined[j.RightTable] {
 			continue
 		}
 		lcol := d.Tables[j.LeftTable].Col(j.LeftCol).Data
 		rcol := d.Tables[j.RightTable].Col(j.RightCol).Data
-		next := current[:0]
-		for _, tp := range current {
-			if lcol[tp[li]] == rcol[tp[ri]] {
-				next = append(next, tp)
+		ls, rs := pos[j.LeftTable], pos[j.RightTable]
+		out := 0
+		for i := 0; i < len(cur); i += stride {
+			tp := cur[i : i+stride]
+			if lcol[tp[ls]] == rcol[tp[rs]] {
+				copy(cur[out*stride:], tp)
+				out++
 			}
 		}
-		current = next
+		cur = cur[:out*stride]
 	}
-	return current
+	return cur, order
 }
 
 // joinTableOrder returns q's tables in a connected visiting order (BFS over
@@ -218,8 +238,7 @@ func joinTableOrder(d *dataset.Dataset, q *Query) []int {
 	}
 	seen := map[int]bool{}
 	var order []int
-	var bfs func(start int)
-	bfs = func(start int) {
+	bfs := func(start int) {
 		queue := []int{start}
 		seen[start] = true
 		for len(queue) > 0 {

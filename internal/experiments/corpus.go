@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/metrics"
 	"repro/internal/testbed"
@@ -129,7 +130,12 @@ func LabelDatasets(ds []*dataset.Dataset, sc Scale, featCfg feature.Config, seed
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Labeling runs thousands of oracle queries against ds[i]
+			// through its cached join index; drop the cache once the
+			// dataset's workload is labeled so corpus-scale runs keep a
+			// bounded index footprint.
 			label, err := testbed.LabelOnly(ds[i], sc.TestbedConfig(seedBase+int64(i)*97))
+			engine.InvalidateIndex(ds[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("labeling %s: %w", ds[i].Name, err)
 				return
@@ -233,6 +239,9 @@ func (c *Corpus) SamplingLabels(test []*LabeledDataset) ([]*testbed.Label, error
 			cfg := c.Scale.TestbedConfig(c.Scale.Seed + 31 + int64(i)*13)
 			cfg.NumQueries = maxInt(30, c.Scale.Queries/3)
 			label, err := testbed.LabelOnly(sampled, cfg)
+			// The sampled dataset is transient; don't let its cached join
+			// index pin it in memory.
+			engine.InvalidateIndex(sampled)
 			if err != nil {
 				errs[i] = err
 				return

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ce"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/feature"
 	"repro/internal/metrics"
 	"repro/internal/pgsim"
@@ -228,6 +229,8 @@ func TableIII(c *Corpus) (*TableIIIResult, error) {
 	d := workload.CEBSchema(c.Scale.Seed + 5)
 	cfg := c.Scale.TestbedConfig(c.Scale.Seed + 71)
 	label, err := cebLabel(d, cfg)
+	// The CEB schema is rebuilt per run; drop its cached join index.
+	engine.InvalidateIndex(d)
 	if err != nil {
 		return nil, err
 	}
@@ -499,6 +502,9 @@ func TableV(c *Corpus) (*TableVResult, error) {
 					agg[key].infer += r.InferTime
 				}
 			}
+			// The pool dataset is done being queried; drop its cached
+			// join index so it does not stay pinned for process lifetime.
+			engine.InvalidateIndex(d)
 		}
 		return nil
 	}

@@ -177,6 +177,9 @@ func buildModels(cfg Config) []ce.Estimator {
 // testing queries.
 func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
 	start := time.Now()
+	// Stage 1: generate the workload with true cardinalities acquired
+	// from the engine's batched oracle (shared per-dataset join index,
+	// one evaluator per worker; see workload.Label).
 	qs := workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
 	train, test := workload.Split(qs, cfg.TrainFrac, cfg.Seed+1)
 	if len(train) == 0 || len(test) == 0 {

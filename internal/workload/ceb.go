@@ -144,9 +144,12 @@ func CEBWorkload(d *dataset.Dataset, perTemplate int, seed int64) []*Query {
 				continue
 			}
 			q := &Query{Query: engine.Query{Tables: tables, Joins: joins, Preds: preds}}
-			q.TrueCard = engine.Cardinality(d, &q.Query)
+			q.TrueCard = -1
 			out = append(out, q)
 		}
 	}
+	// Acquire all true cardinalities in one batched pass over the shared
+	// per-dataset join index.
+	Label(d, out)
 	return out
 }

@@ -38,11 +38,20 @@ func DefaultConfig(n int, seed int64) Config {
 	return Config{NumQueries: n, MaxPredsPerTable: 2, Seed: seed}
 }
 
-// Generate produces cfg.NumQueries random SPJ queries over d. Each query
-// joins a connected subset of tables (1..all of them) along FK edges and
-// carries range predicates on randomly chosen non-key columns. Queries are
-// labeled with true cardinalities via the engine.
+// Generate produces cfg.NumQueries random SPJ queries over d, labeled
+// with true cardinalities. It is GenerateUnlabeled followed by Label.
 func Generate(d *dataset.Dataset, cfg Config) []*Query {
+	qs := GenerateUnlabeled(d, cfg)
+	Label(d, qs)
+	return qs
+}
+
+// GenerateUnlabeled produces cfg.NumQueries random SPJ queries over d with
+// TrueCard left at -1. Each query joins a connected subset of tables
+// (1..all of them) along FK edges and carries range predicates on randomly
+// chosen non-key columns. Identical query streams to Generate: labeling
+// does not consume the generator's randomness.
+func GenerateUnlabeled(d *dataset.Dataset, cfg Config) []*Query {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	queries := make([]*Query, 0, cfg.NumQueries)
 	adj := d.JoinGraphAdjacency()
@@ -51,10 +60,23 @@ func Generate(d *dataset.Dataset, cfg Config) []*Query {
 		if q == nil {
 			continue
 		}
-		q.TrueCard = engine.Cardinality(d, &q.Query)
+		q.TrueCard = -1
 		queries = append(queries, q)
 	}
 	return queries
+}
+
+// Label acquires the true cardinality of every query from the engine's
+// batched oracle (Stage 1 of the paper's labeling pipeline): one shared
+// per-dataset join index, one evaluator per worker.
+func Label(d *dataset.Dataset, qs []*Query) {
+	eqs := make([]*engine.Query, len(qs))
+	for i, q := range qs {
+		eqs[i] = &q.Query
+	}
+	for i, c := range engine.CardinalityBatch(d, eqs) {
+		qs[i].TrueCard = c
+	}
 }
 
 // randomQuery builds one random query, or nil when the draw degenerates
