@@ -31,6 +31,19 @@ func benchCorpus(b *testing.B) *experiments.Corpus {
 	return corpus
 }
 
+// BenchmarkStage1BuildCorpus regenerates and labels the full QuickScale
+// corpus per iteration — the paper's Stage 1 (workload + oracle truths +
+// training every candidate model on every dataset) and the training-
+// throughput benchmark this repository's CI tracks.
+func BenchmarkStage1BuildCorpus(b *testing.B) {
+	sc := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BuildCorpus(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTableIDatasetStats(b *testing.B) {
 	sc := experiments.QuickScale()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,156 @@
+// Command benchcheck converts `go test -bench` output into a JSON
+// benchmark artifact and gates it against a checked-in baseline: the build
+// fails when any baseline benchmark is missing from the run or regressed
+// by more than the allowed factor in ns/op.
+//
+// CI usage (see .github/workflows/ci.yml):
+//
+//	go test -run XXX -bench 'MatMul|GIN|Train' -benchtime 100x \
+//	    ./internal/nn ./internal/gnn | tee bench.txt
+//	go run ./cmd/benchcheck -input bench.txt -output BENCH_nn.json \
+//	    -baseline ci/bench_baseline.json -max-regress 2
+//
+// Refresh the baseline after an intentional performance change with
+// -update:
+//
+//	go run ./cmd/benchcheck -input bench.txt -baseline ci/bench_baseline.json -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result row of go test -bench output, e.g.
+// "BenchmarkMatMulForward-8   	   79440	     15123 ns/op	 16544 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		// go test -count>1 repeats names; keep the fastest run, the
+		// standard noise-rejection choice for regression gating.
+		if old, ok := out[m[1]]; !ok || ns < old {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func readJSON(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, results map[string]float64) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	input := flag.String("input", "", "bench output file (default stdin)")
+	output := flag.String("output", "", "write parsed results as a JSON artifact")
+	baseline := flag.String("baseline", "", "checked-in baseline JSON to gate against")
+	maxRegress := flag.Float64("max-regress", 2.0, "fail when ns/op exceeds baseline by this factor")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+	if *output != "" {
+		if err := writeJSON(*output, results); err != nil {
+			fatal(err)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+	if *update {
+		if err := writeJSON(*baseline, results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(results), *baseline)
+		return
+	}
+
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		want := base[name]
+		got, ok := results[name]
+		if !ok {
+			fmt.Printf("MISSING  %-40s baseline %12.0f ns/op, not in this run\n", name, want)
+			failed = true
+			continue
+		}
+		ratio := got / want
+		status := "ok"
+		if ratio > *maxRegress {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-9s%-40s %12.0f -> %12.0f ns/op (%.2fx)\n", status, name, want, got, ratio)
+	}
+	for name, got := range results {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("new      %-40s %31.0f ns/op (no baseline)\n", name, got)
+		}
+	}
+	if failed {
+		fmt.Printf("benchcheck: ns/op regression beyond %.2gx baseline\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

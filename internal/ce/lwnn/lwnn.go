@@ -39,17 +39,37 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "LW-NN" }
 
-// TrainQueries implements ce.QueryDriven.
+// TrainQueries implements ce.QueryDriven. Queries are encoded once, and
+// the minibatch training graph is recorded once per batch size and
+// replayed every step (see nn.Tape).
 func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
 	if len(train) == 0 {
 		return fmt.Errorf("lwnn: empty training workload")
 	}
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
 	m.enc = workload.NewEncoder(d)
-	m.net = nn.NewMLP(rng, []int{m.enc.Dim(), m.cfg.Hidden1, m.cfg.Hidden2, 1}, nn.ActReLU, nn.ActNone)
+	dim := m.enc.Dim()
+	m.net = nn.NewMLP(rng, []int{dim, m.cfg.Hidden1, m.cfg.Hidden2, 1}, nn.ActReLU, nn.ActNone)
 	opt := nn.NewAdam(m.net.Params(), m.cfg.LR)
 
+	xs := make([][]float64, len(train))
+	ys := make([]float64, len(train))
+	for i, q := range train {
+		xs[i] = m.enc.Encode(q)
+		ys[i] = workload.LogCard(q.TrueCard)
+	}
+
 	const batch = 16
+	type batchTape struct {
+		x       *nn.Tensor
+		targets []float64
+		tape    *nn.Tape
+	}
+	tapes := nn.NewBatchTapes(func(bsz int) *batchTape {
+		x := nn.Zeros(bsz, dim)
+		targets := make([]float64, bsz)
+		return &batchTape{x: x, targets: targets, tape: nn.NewTape(nn.MSE(m.net.Forward(x), targets))}
+	})
 	order := rng.Perm(len(train))
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -58,15 +78,13 @@ func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error 
 			if end > len(order) {
 				end = len(order)
 			}
-			rows := make([][]float64, 0, end-start)
-			targets := make([]float64, 0, end-start)
-			for _, qi := range order[start:end] {
-				rows = append(rows, m.enc.Encode(train[qi]))
-				targets = append(targets, workload.LogCard(train[qi].TrueCard))
+			bt := tapes.For(end - start)
+			for bi, qi := range order[start:end] {
+				copy(bt.x.V[bi*dim:(bi+1)*dim], xs[qi])
+				bt.targets[bi] = ys[qi]
 			}
-			x := nn.FromRows(rows)
-			loss := nn.MSE(m.net.Forward(x), targets)
-			loss.Backward()
+			bt.tape.Forward()
+			bt.tape.BackwardScalar()
 			opt.Step()
 		}
 	}

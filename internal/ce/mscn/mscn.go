@@ -23,8 +23,13 @@ type Config struct {
 	Seed   int64
 }
 
-// DefaultConfig returns the configuration used by the testbed.
-func DefaultConfig() Config { return Config{Hidden: 32, Epochs: 24, LR: 5e-3, Seed: 1} }
+// DefaultConfig returns the configuration used by the testbed. The
+// learning rate is tuned for minibatch updates (trainBatch queries per
+// Adam step) rather than the historical per-query stepping.
+func DefaultConfig() Config { return Config{Hidden: 32, Epochs: 24, LR: 1e-2, Seed: 1} }
+
+// trainBatch is the minibatch size of TrainQueries.
+const trainBatch = 8
 
 // Model is a trained MSCN estimator for one dataset.
 type Model struct {
@@ -61,7 +66,12 @@ func (m *Model) setElements(q *workload.Query) (tables, joins, preds *nn.Tensor)
 	flat := m.enc.Encode(q)
 	jBase := m.enc.TableDim()
 	jRows := make([][]float64, 0, 4)
-	for fi := 0; fi < m.jDim; fi++ {
+	// Loop the encoder's true join width: on zero-FK datasets m.jDim is
+	// padded to 1 for the MLP input, but flat has no join block there and
+	// reading it would mistake the first predicate flag for a join. The
+	// empty-set token below covers that case — the same decomposition
+	// extractSets feeds the training path.
+	for fi := 0; fi < m.enc.JoinDim(); fi++ {
 		if flat[jBase+fi] > 0 {
 			row := make([]float64, m.jDim)
 			row[fi] = 1
@@ -110,7 +120,54 @@ func (m *Model) params() []*nn.Tensor {
 	return out
 }
 
-// TrainQueries implements ce.QueryDriven.
+// querySets is the precomputed set representation of one training query.
+type querySets struct {
+	tables []int        // table ids (one-hot rows of the table set)
+	joins  []int        // FK-edge slots (one-hot rows of the join set)
+	preds  [][3]float64 // (column slot, lo, hi) rows of the predicate set
+	target float64
+}
+
+// extractSets builds the set representation from the flat encoding, the
+// same decomposition setElements performs per query at inference time.
+func (m *Model) extractSets(q *workload.Query) querySets {
+	var s querySets
+	s.tables = append(s.tables, q.Tables...)
+	flat := m.enc.Encode(q)
+	jBase := m.enc.TableDim()
+	for fi := 0; fi < m.enc.JoinDim(); fi++ {
+		if flat[jBase+fi] > 0 {
+			s.joins = append(s.joins, fi)
+		}
+	}
+	pBase := m.enc.TableDim() + m.enc.JoinDim()
+	nCols := m.enc.PredDim() / 3
+	for slot := 0; slot < nCols; slot++ {
+		if flat[pBase+3*slot] > 0 {
+			s.preds = append(s.preds, [3]float64{float64(slot), flat[pBase+3*slot+1], flat[pBase+3*slot+2]})
+		}
+	}
+	s.target = workload.LogCard(q.TrueCard)
+	return s
+}
+
+// batchTape is the recorded minibatch training graph for one batch size.
+// Each query owns a fixed-capacity row range in every set matrix; the
+// pooling matrices hold 1/count weights on the filled rows (or weight 1 on
+// a zero row for an empty set, the empty-set token), so the pooled
+// embeddings match per-query mean pooling exactly while the whole batch
+// runs as three dense matrix multiplies.
+type batchTape struct {
+	bsz        int
+	xT, xJ, xP *nn.Tensor // stacked set-element matrices
+	pT, pJ, pP *nn.Tensor // constant pooling matrices (bsz × bsz*cap)
+	targets    []float64
+	tape       *nn.Tape
+}
+
+// TrainQueries implements ce.QueryDriven: true minibatch training over
+// padded set matrices, with the graph recorded once per batch size and
+// replayed every step.
 func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
 	if len(train) == 0 {
 		return fmt.Errorf("mscn: empty training workload")
@@ -122,26 +179,99 @@ func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error 
 	if m.jDim == 0 {
 		m.jDim = 1
 	}
-	m.pDim = m.enc.PredDim()/3 + 2
+	nCols := m.enc.PredDim() / 3
+	m.pDim = nCols + 2
 	h := m.cfg.Hidden
 	m.tableMLP = nn.NewMLP(rng, []int{m.tDim, h, h}, nn.ActReLU, nn.ActReLU)
 	m.joinMLP = nn.NewMLP(rng, []int{m.jDim, h, h}, nn.ActReLU, nn.ActReLU)
 	m.predMLP = nn.NewMLP(rng, []int{m.pDim, h, h}, nn.ActReLU, nn.ActReLU)
 	m.outMLP = nn.NewMLP(rng, []int{3 * h, h, 1}, nn.ActReLU, nn.ActNone)
 
+	sets := make([]querySets, len(train))
+	for qi, q := range train {
+		sets[qi] = m.extractSets(q)
+	}
+	// Per-query row capacities: a query references at most every table,
+	// every FK edge, and every column slot once.
+	tCap, jCap, pCap := max(m.tDim, 1), max(m.jDim, 1), max(nCols, 1)
+
+	build := func(bsz int) *batchTape {
+		bt := &batchTape{
+			bsz:     bsz,
+			xT:      nn.Zeros(bsz*tCap, m.tDim),
+			xJ:      nn.Zeros(bsz*jCap, m.jDim),
+			xP:      nn.Zeros(bsz*pCap, m.pDim),
+			pT:      nn.Zeros(bsz, bsz*tCap),
+			pJ:      nn.Zeros(bsz, bsz*jCap),
+			pP:      nn.Zeros(bsz, bsz*pCap),
+			targets: make([]float64, bsz),
+		}
+		tEmb := nn.MatMul(bt.pT, m.tableMLP.Forward(bt.xT))
+		jEmb := nn.MatMul(bt.pJ, m.joinMLP.Forward(bt.xJ))
+		pEmb := nn.MatMul(bt.pP, m.predMLP.Forward(bt.xP))
+		pred := m.outMLP.Forward(nn.ConcatCols(tEmb, jEmb, pEmb))
+		bt.tape = nn.NewTape(nn.MSE(pred, bt.targets))
+		return bt
+	}
+	fill := func(bt *batchTape, batch []int) {
+		for _, t := range []*nn.Tensor{bt.xT, bt.xJ, bt.xP, bt.pT, bt.pJ, bt.pP} {
+			for i := range t.V {
+				t.V[i] = 0
+			}
+		}
+		for bi, qi := range batch {
+			s := &sets[qi]
+			fillSet(bt.pT.V, bi, bt.bsz*tCap, bi*tCap, len(s.tables))
+			for k, ti := range s.tables {
+				bt.xT.V[(bi*tCap+k)*m.tDim+ti] = 1
+			}
+			fillSet(bt.pJ.V, bi, bt.bsz*jCap, bi*jCap, len(s.joins))
+			for k, fi := range s.joins {
+				bt.xJ.V[(bi*jCap+k)*m.jDim+fi] = 1
+			}
+			fillSet(bt.pP.V, bi, bt.bsz*pCap, bi*pCap, len(s.preds))
+			for k, pr := range s.preds {
+				row := (bi*pCap + k) * m.pDim
+				bt.xP.V[row+int(pr[0])] = 1
+				bt.xP.V[row+nCols] = pr[1]
+				bt.xP.V[row+nCols+1] = pr[2]
+			}
+			bt.targets[bi] = s.target
+		}
+	}
+
 	opt := nn.NewAdam(m.params(), m.cfg.LR)
+	tapes := nn.NewBatchTapes(build)
 	order := rng.Perm(len(train))
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, qi := range order {
-			q := train[qi]
-			pred := m.forward(q)
-			loss := nn.MSE(pred, []float64{workload.LogCard(q.TrueCard)})
-			loss.Backward()
+		for start := 0; start < len(order); start += trainBatch {
+			end := start + trainBatch
+			if end > len(order) {
+				end = len(order)
+			}
+			bt := tapes.For(end - start)
+			fill(bt, order[start:end])
+			bt.tape.Forward()
+			bt.tape.BackwardScalar()
 			opt.Step()
 		}
 	}
 	return nil
+}
+
+// fillSet writes one query's pooling-row weights: 1/cnt over the cnt
+// filled rows, or weight 1 on the query's first (zero) row when the set is
+// empty — the empty-set token of the per-query path.
+func fillSet(pool []float64, bi, stride, rowBase, cnt int) {
+	if cnt == 0 {
+		pool[bi*stride+rowBase] = 1
+		return
+	}
+	w := 1 / float64(cnt)
+	for k := 0; k < cnt; k++ {
+		pool[bi*stride+rowBase+k] = w
+	}
 }
 
 // Estimate implements ce.Estimator.

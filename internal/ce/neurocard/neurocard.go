@@ -50,6 +50,9 @@ type Made struct {
 	W2, B2 *nn.Tensor
 	mask1  []float64
 	mask2  []float64
+
+	// samp is the cached inference sampler; invalidated by TrainMade.
+	samp *Sampler
 }
 
 // NewMade builds the masked network for the given per-column bin counts.
@@ -104,8 +107,8 @@ func NewMade(rng *rand.Rand, bins []int, hidden int) *Made {
 
 // Forward returns the full logit matrix for a batch of one-hot rows.
 func (m *Made) Forward(x *nn.Tensor) *nn.Tensor {
-	h := nn.ReLU(nn.AddBias(nn.MaskedMatMul(x, m.W1, m.mask1), m.B1))
-	return nn.AddBias(nn.MaskedMatMul(h, m.W2, m.mask2), m.B2)
+	h := nn.MaskedAffine(x, m.W1, m.B1, m.mask1, nn.ActReLU)
+	return nn.MaskedAffine(h, m.W2, m.B2, m.mask2, nn.ActNone)
 }
 
 // Params returns the trainable tensors.
@@ -193,10 +196,28 @@ func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
 
 // TrainMade fits a Made network to binned rows by maximum likelihood
 // (sum of per-column softmax cross-entropies). Exported for UAE.
+//
+// The training graph — two fused masked-affine layers plus the fused
+// per-column cross-entropy — is recorded once per batch size and replayed
+// every step; only the one-hot inputs and target bins are rewritten.
 func TrainMade(made *Made, rows [][]int, epochs, batch int, lr float64, rng *rand.Rand) {
+	defer func() { made.samp = nil }() // weights changed: invalidate sampler
 	opt := nn.NewAdam(made.Params(), lr)
 	order := rng.Perm(len(rows))
 	ncols := len(made.Bins)
+	type batchTape struct {
+		x       *nn.Tensor
+		targets []int
+		tape    *nn.Tape
+	}
+	tapes := nn.NewBatchTapes(func(bsz int) *batchTape {
+		x := nn.Zeros(bsz, made.InDim)
+		targets := make([]int, bsz*ncols)
+		h := nn.MaskedAffine(x, made.W1, made.B1, made.mask1, nn.ActReLU)
+		logits := nn.MaskedAffine(h, made.W2, made.B2, made.mask2, nn.ActNone)
+		loss := nn.MadeCrossEntropy(logits, made.Offsets, made.Bins, targets)
+		return &batchTape{x: x, targets: targets, tape: nn.NewTape(loss)}
+	})
 	for epoch := 0; epoch < epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += batch {
@@ -204,34 +225,137 @@ func TrainMade(made *Made, rows [][]int, epochs, batch int, lr float64, rng *ran
 			if end > len(order) {
 				end = len(order)
 			}
-			bsz := end - start
-			xs := make([][]float64, 0, bsz)
-			for _, ri := range order[start:end] {
-				xs = append(xs, made.OneHotRow(rows[ri]))
+			bt := tapes.For(end - start)
+			for i := range bt.x.V {
+				bt.x.V[i] = 0
 			}
-			x := nn.FromRows(xs)
-			logits := made.Forward(x)
-			losses := make([]*nn.Tensor, 0, ncols)
-			for c := 0; c < ncols; c++ {
-				off, nb := made.Offsets[c], made.Bins[c]
-				block := nn.SliceCols(logits, off, off+nb)
-				targets := make([][]float64, bsz)
-				for bi, ri := range order[start:end] {
-					t := make([]float64, nb)
-					t[rows[ri][c]] = 1
-					targets[bi] = t
+			for bi, ri := range order[start:end] {
+				base := bi * made.InDim
+				for c, b := range rows[ri] {
+					bt.x.V[base+made.Offsets[c]+b] = 1
+					bt.targets[bi*ncols+c] = b
 				}
-				losses = append(losses, nn.SoftmaxCrossEntropy(block, targets))
 			}
-			loss := nn.SumScalars(losses...)
-			loss.Backward()
+			bt.tape.Forward()
+			bt.tape.BackwardScalar()
 			opt.Step()
 		}
 	}
 }
 
+// Sampler is an allocation-light vectorized inference path for
+// progressive sampling. A full Made.Forward per column rebuilds the whole
+// autodiff graph and multiplies the entire masked network even though
+// progressive sampling only ever (a) adds one observed one-hot input at a
+// time and (b) reads one column block of logits. The sampler snapshots the
+// masked weights once, maintains every path's hidden pre-activation
+// incrementally as columns are observed, and advances all S sampling paths
+// through a column together, so each column costs O(S·hidden·bins) with a
+// zero-skip over the ReLU-sparse hidden units instead of S full network
+// passes.
+//
+// A Sampler reads frozen weights: train first, then sample. It is not safe
+// for concurrent use (shared path scratch), matching the model's rng.
+type Sampler struct {
+	made   *Made
+	hidden int
+	w1m    []float64 // InDim×hidden, W1∘mask1
+	w2m    []float64 // hidden×InDim, W2∘mask2
+	// colUnits[c] lists the hidden units whose mask2 block for column c is
+	// nonzero (units of autoregressive degree < c): the only units that
+	// can move column c's logits. Column 0 has none by construction.
+	colUnits [][]int
+
+	// Per-path scratch, grown to the largest requested path count.
+	pre   []float64 // paths×hidden pre-activation accumulators
+	dist  []float64 // per-column distribution scratch (max bins)
+	pathP []float64 // paths accumulated probabilities (0 = dead path)
+}
+
+// NewSampler snapshots the trained network for inference.
+func (m *Made) NewSampler() *Sampler {
+	hidden := m.W1.C
+	s := &Sampler{made: m, hidden: hidden}
+	s.w1m = make([]float64, len(m.W1.V))
+	for i, v := range m.W1.V {
+		s.w1m[i] = v * m.mask1[i]
+	}
+	s.w2m = make([]float64, len(m.W2.V))
+	for i, v := range m.W2.V {
+		s.w2m[i] = v * m.mask2[i]
+	}
+	s.colUnits = make([][]int, len(m.Bins))
+	for c, off := range m.Offsets {
+		for i := 0; i < hidden; i++ {
+			if m.mask2[i*m.InDim+off] != 0 {
+				s.colUnits[c] = append(s.colUnits[c], i)
+			}
+		}
+	}
+	maxb := 1
+	for _, b := range m.Bins {
+		if b > maxb {
+			maxb = b
+		}
+	}
+	s.dist = make([]float64, maxb)
+	return s
+}
+
+// grow sizes the per-path scratch for paths sampling paths.
+func (s *Sampler) grow(paths int) {
+	if len(s.pathP) < paths {
+		s.pre = make([]float64, paths*s.hidden)
+		s.pathP = make([]float64, paths)
+	}
+}
+
+// columnDist writes the softmax distribution of column c for the path
+// whose pre-activations are pre, returning the scratch slice.
+func (s *Sampler) columnDist(pre []float64, c int) []float64 {
+	off, nb := s.made.Offsets[c], s.made.Bins[c]
+	out := s.dist[:nb]
+	copy(out, s.made.B2.V[off:off+nb])
+	for _, i := range s.colUnits[c] {
+		v := pre[i]
+		if v <= 0 {
+			continue // ReLU: inactive hidden unit
+		}
+		wrow := s.w2m[i*s.made.InDim+off:][:nb]
+		for j, wv := range wrow {
+			out[j] += v * wv
+		}
+	}
+	maxv := out[0]
+	for _, v := range out[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for j, v := range out {
+		e := math.Exp(v - maxv)
+		out[j] = e
+		sum += e
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+	return out
+}
+
+// sampler returns the cached inference sampler, building it on first use
+// after training.
+func (m *Made) sampler() *Sampler {
+	if m.samp == nil {
+		m.samp = m.NewSampler()
+	}
+	return m.samp
+}
+
 // ProgressiveSample estimates the probability of the bin ranges under the
-// Made model with S sampling paths. Exported for UAE.
+// Made model with S sampling paths. Exported for UAE. All paths advance
+// through the columns together on the model's cached Sampler.
 func ProgressiveSample(made *Made, ranges map[int][2]int, samples int, rng *rand.Rand) float64 {
 	lastQueried := -1
 	for c := range ranges {
@@ -242,23 +366,30 @@ func ProgressiveSample(made *Made, ranges map[int][2]int, samples int, rng *rand
 	if lastQueried == -1 {
 		return 1
 	}
-	var total float64
-	for s := 0; s < samples; s++ {
-		input := make([]float64, made.InDim)
-		pathP := 1.0
-		for c := 0; c <= lastQueried; c++ {
-			dist := made.ColumnDist(input, c)
-			r, queried := ranges[c]
+	sp := made.sampler()
+	sp.grow(samples)
+	for p := 0; p < samples; p++ {
+		copy(sp.pre[p*sp.hidden:(p+1)*sp.hidden], made.B1.V)
+		sp.pathP[p] = 1
+	}
+	for c := 0; c <= lastQueried; c++ {
+		r, queried := ranges[c]
+		for p := 0; p < samples; p++ {
+			if sp.pathP[p] == 0 {
+				continue // dead path: a queried range had zero mass
+			}
+			pre := sp.pre[p*sp.hidden : (p+1)*sp.hidden]
+			dist := sp.columnDist(pre, c)
 			var mass float64
 			if queried {
 				for b := r[0]; b <= r[1] && b < len(dist); b++ {
 					mass += dist[b]
 				}
 				if mass <= 0 {
-					pathP = 0
-					break
+					sp.pathP[p] = 0
+					continue
 				}
-				pathP *= mass
+				sp.pathP[p] *= mass
 			} else {
 				mass = 1
 			}
@@ -283,9 +414,16 @@ func ProgressiveSample(made *Made, ranges map[int][2]int, samples int, rng *rand
 			if pick == -1 {
 				pick = hiB
 			}
-			input[made.Offsets[c]+pick] = 1
+			// Observe: condition the path on column c taking bin pick.
+			wrow := sp.w1m[(made.Offsets[c]+pick)*sp.hidden:][:sp.hidden]
+			for i, v := range wrow {
+				pre[i] += v
+			}
 		}
-		total += pathP
+	}
+	var total float64
+	for p := 0; p < samples; p++ {
+		total += sp.pathP[p]
 	}
 	return total / float64(samples)
 }

@@ -138,6 +138,17 @@ func (m *Model) TrainBoth(d *dataset.Dataset, sample *engine.JoinSample, train [
 	opt := nn.NewAdam(m.corr.Params(), m.cfg.CorrLR)
 	order := m.rng.Perm(len(xs))
 	const batch = 16
+	dim := m.enc.Dim()
+	type batchTape struct {
+		x       *nn.Tensor
+		targets []float64
+		tape    *nn.Tape
+	}
+	tapes := nn.NewBatchTapes(func(bsz int) *batchTape {
+		x := nn.Zeros(bsz, dim)
+		targets := make([]float64, bsz)
+		return &batchTape{x: x, targets: targets, tape: nn.NewTape(nn.MSE(m.corr.Forward(x), targets))}
+	})
 	for epoch := 0; epoch < m.cfg.CorrEpochs; epoch++ {
 		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += batch {
@@ -145,14 +156,13 @@ func (m *Model) TrainBoth(d *dataset.Dataset, sample *engine.JoinSample, train [
 			if end > len(order) {
 				end = len(order)
 			}
-			rows := make([][]float64, 0, end-start)
-			targets := make([]float64, 0, end-start)
-			for _, i := range order[start:end] {
-				rows = append(rows, xs[i])
-				targets = append(targets, ys[i])
+			bt := tapes.For(end - start)
+			for bi, i := range order[start:end] {
+				copy(bt.x.V[bi*dim:(bi+1)*dim], xs[i])
+				bt.targets[bi] = ys[i]
 			}
-			loss := nn.MSE(m.corr.Forward(nn.FromRows(rows)), targets)
-			loss.Backward()
+			bt.tape.Forward()
+			bt.tape.BackwardScalar()
 			opt.Step()
 		}
 	}

@@ -14,7 +14,7 @@ import (
 // datasets favor model 0 on accuracy, multi-table datasets favor model 1,
 // and model 2 is always the efficiency winner. This gives the metric
 // learner a clean signal without running the (slow) real testbed.
-func corpus(t *testing.T, n int, seed int64) []*Sample {
+func corpus(t testing.TB, n int, seed int64) []*Sample {
 	t.Helper()
 	cfg := feature.DefaultConfig()
 	rng := rand.New(rand.NewSource(seed))

@@ -52,14 +52,16 @@ func (a *Advisor) trainDML(samples []*Sample, cfg Config) {
 	}
 }
 
-// dmlStep performs one forward/backward/update over a batch.
+// dmlStep performs one forward/backward/update over a batch. Each sample's
+// forward/backward runs on its cached encoder tape (graphs are immutable
+// across epochs), so steady-state steps rebuild no autodiff graph.
 func (a *Advisor) dmlStep(batch []*Sample, wa float64, opt nn.Optimizer) float64 {
 	m := len(batch)
-	outs := make([]*nn.Tensor, m)
+	tapes := make([]*gnn.Tape, m)
 	embs := make([][]float64, m)
 	for i, s := range batch {
-		outs[i] = a.enc.Forward(s.Graph)
-		embs[i] = outs[i].Row(0)
+		tapes[i] = a.enc.TapeFor(s.Graph)
+		embs[i] = tapes[i].Forward().Row(0)
 	}
 	scores := make([][]float64, m)
 	for i, s := range batch {
@@ -73,8 +75,8 @@ func (a *Advisor) dmlStep(batch []*Sample, wa float64, opt nn.Optimizer) float64
 	} else {
 		loss, grads = weightedContrastive(embs, scores, tau, a.cfg.Gamma)
 	}
-	for i := range outs {
-		outs[i].BackwardWithGrad(grads[i])
+	for i := range tapes {
+		tapes[i].Backward(grads[i])
 	}
 	opt.Step()
 	return loss

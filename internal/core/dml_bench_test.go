@@ -1,0 +1,20 @@
+package core
+
+import "testing"
+
+// BenchmarkDMLTrain measures the full Algorithm-1 deep-metric-learning
+// loop (the default architecture over a 24-sample corpus) — the advisor
+// half of the training-throughput budget. Forward/backward passes run on
+// cached per-graph tapes after the first epoch.
+func BenchmarkDMLTrain(b *testing.B) {
+	samples := corpus(b, 24, 7)
+	cfg := DefaultConfig(len(samples[0].Graph.V[0]))
+	cfg.Epochs = 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(samples, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -117,42 +117,86 @@ type Corpus struct {
 	Scale       Scale
 }
 
-// LabelDatasets labels a slice of datasets in parallel and pairs them with
-// feature graphs.
-func LabelDatasets(ds []*dataset.Dataset, sc Scale, featCfg feature.Config, seedBase int64) ([]*LabeledDataset, error) {
-	out := make([]*LabeledDataset, len(ds))
-	errs := make([]error, len(ds))
+// forEach runs fn(i) for i in [0, n) over a pool of workers goroutines
+// and returns the per-index errors.
+func forEach(n, workers int, fn func(i int) error) []error {
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(1, sc.Workers))
-	for i := range ds {
+	sem := make(chan struct{}, maxInt(1, workers))
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			// Labeling runs thousands of oracle queries against ds[i]
-			// through its cached join index; drop the cache once the
-			// dataset's workload is labeled so corpus-scale runs keep a
-			// bounded index footprint.
-			label, err := testbed.LabelOnly(ds[i], sc.TestbedConfig(seedBase+int64(i)*97))
-			engine.InvalidateIndex(ds[i])
-			if err != nil {
-				errs[i] = fmt.Errorf("labeling %s: %w", ds[i].Name, err)
-				return
-			}
-			g, err := feature.Extract(ds[i], featCfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("features of %s: %w", ds[i].Name, err)
-				return
-			}
-			out[i] = &LabeledDataset{D: ds[i], Graph: g, Label: label}
+			errs[i] = fn(i)
 		}(i)
 	}
 	wg.Wait()
+	return errs
+}
+
+func firstError(errs []error) error {
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// LabelDatasets labels a slice of datasets and pairs them with feature
+// graphs. It is the parallel Stage-1 corpus driver: labeling runs in three
+// phases — workload generation + oracle labeling per dataset, then every
+// (dataset, model) training job fanned over one global sc.Workers pool
+// (testbed.TrainAll), then measurement + feature extraction per dataset —
+// so training throughput scales with cores even when datasets outnumber or
+// undercount the workers. Per-job RNG seeding is deterministic (each model
+// derives its RNG from the run seed), so the labels are identical to the
+// serial path; see TestParallelCorpusTrainingDeterministic.
+func LabelDatasets(ds []*dataset.Dataset, sc Scale, featCfg feature.Config, seedBase int64) ([]*LabeledDataset, error) {
+	workers := maxInt(1, sc.Workers)
+
+	// Phase 1: workload + oracle truths + join sample + untrained models.
+	preps := make([]*testbed.Prepared, len(ds))
+	errs := forEach(len(ds), workers, func(i int) error {
+		// Preparation runs thousands of oracle queries against ds[i]
+		// through its cached join index; drop the cache as soon as the
+		// truths are acquired (training and measurement never consult the
+		// engine again) so corpus-scale runs keep a bounded index
+		// footprint.
+		p, err := testbed.Prepare(ds[i], sc.TestbedConfig(seedBase+int64(i)*97))
+		engine.InvalidateIndex(ds[i])
+		if err != nil {
+			return fmt.Errorf("preparing %s: %w", ds[i].Name, err)
+		}
+		preps[i] = p
+		return nil
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the global (dataset, model) training pool. Each dataset is
+	// measured, scored, and released (models, sample, workload) as soon
+	// as its last training job drains, so peak memory tracks the
+	// in-flight window rather than the corpus size.
+	out := make([]*LabeledDataset, len(ds))
+	finish := func(i int) error {
+		res, err := preps[i].Finish()
+		preps[i] = nil
+		if err != nil {
+			return fmt.Errorf("labeling %s: %w", ds[i].Name, err)
+		}
+		g, err := feature.Extract(ds[i], featCfg)
+		if err != nil {
+			return fmt.Errorf("features of %s: %w", ds[i].Name, err)
+		}
+		out[i] = &LabeledDataset{D: ds[i], Graph: g, Label: res.Label}
+		return nil
+	}
+	if err := testbed.TrainAll(preps, workers, finish); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -226,34 +270,22 @@ func (c *Corpus) TrainAutoCE() (*core.Advisor, error) {
 // (one full sampled run per dataset).
 func (c *Corpus) SamplingLabels(test []*LabeledDataset) ([]*testbed.Label, error) {
 	out := make([]*testbed.Label, len(test))
-	errs := make([]error, len(test))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(1, c.Scale.Workers))
-	for i := range test {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sampled := advisor.SampleDataset(test[i].D, 0.25, c.Scale.Seed+int64(i))
-			cfg := c.Scale.TestbedConfig(c.Scale.Seed + 31 + int64(i)*13)
-			cfg.NumQueries = maxInt(30, c.Scale.Queries/3)
-			label, err := testbed.LabelOnly(sampled, cfg)
-			// The sampled dataset is transient; don't let its cached join
-			// index pin it in memory.
-			engine.InvalidateIndex(sampled)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out[i] = label
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	errs := forEach(len(test), c.Scale.Workers, func(i int) error {
+		sampled := advisor.SampleDataset(test[i].D, 0.25, c.Scale.Seed+int64(i))
+		cfg := c.Scale.TestbedConfig(c.Scale.Seed + 31 + int64(i)*13)
+		cfg.NumQueries = maxInt(30, c.Scale.Queries/3)
+		label, err := testbed.LabelOnly(sampled, cfg)
+		// The sampled dataset is transient; don't let its cached join
+		// index pin it in memory.
+		engine.InvalidateIndex(sampled)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = label
+		return nil
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

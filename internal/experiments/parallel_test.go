@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/testbed"
+)
+
+// TestParallelCorpusTrainingDeterministic proves the (dataset, model)
+// worker pool produces byte-identical training outcomes to the serial
+// path: every model trains from its own deterministically seeded RNG over
+// read-only shared inputs, so scheduling order cannot leak into the
+// results. Accuracy labels (Sa) and the underlying mean Q-errors must
+// match bit for bit; efficiency labels (Se) are measured wall-clock
+// latency and are inherently nondeterministic on both paths, so they are
+// excluded.
+func TestParallelCorpusTrainingDeterministic(t *testing.T) {
+	p := datagen.DefaultParams(0)
+	p.MinRows, p.MaxRows = 120, 250
+	ds, err := datagen.GenerateCorpus(3, 3, p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFor := func(i int) testbed.Config {
+		return testbed.Config{NumQueries: 40, TrainFrac: 0.55, SampleRows: 200, Fast: true, Seed: 7 + int64(i)*97}
+	}
+
+	// Serial reference path.
+	serial := make([]*testbed.Label, len(ds))
+	for i, d := range ds {
+		res, err := testbed.Run(d, cfgFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res.Label
+		engine.InvalidateIndex(d)
+	}
+
+	// Parallel path over the same datasets: prepare, fan the (dataset,
+	// model) jobs over a pool wider than the job diversity, finish.
+	preps := make([]*testbed.Prepared, len(ds))
+	for i, d := range ds {
+		if preps[i], err = testbed.Prepare(d, cfgFor(i)); err != nil {
+			t.Fatal(err)
+		}
+		engine.InvalidateIndex(d)
+	}
+	if err := testbed.TrainAll(preps, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range preps {
+		res, err := preps[i].Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := res.Label
+		if len(par.Sa) != len(serial[i].Sa) {
+			t.Fatalf("dataset %d: Sa length %d vs %d", i, len(par.Sa), len(serial[i].Sa))
+		}
+		for j := range par.Sa {
+			if par.Sa[j] != serial[i].Sa[j] {
+				t.Fatalf("dataset %d model %d: parallel Sa %v differs from serial %v",
+					i, j, par.Sa[j], serial[i].Sa[j])
+			}
+		}
+		for j := range par.Perfs {
+			if par.Perfs[j].QErrorMean != serial[i].Perfs[j].QErrorMean {
+				t.Fatalf("dataset %d model %d: parallel QErrorMean %v differs from serial %v",
+					i, j, par.Perfs[j].QErrorMean, serial[i].Perfs[j].QErrorMean)
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ package gnn
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/feature"
 	"repro/internal/nn"
@@ -45,12 +46,48 @@ type ginLayer struct {
 type Encoder struct {
 	cfg    Config
 	layers []*ginLayer
+
+	// tapes caches one recorded autodiff tape per training graph: every
+	// DML epoch revisits the same graphs, so after the first visit a
+	// forward/backward pass is a zero-allocation replay. The input leaves
+	// are refreshed from the graph before each replay, so callers that
+	// mutate a graph in place still see current values. Only the training
+	// loop (TapeFor) populates the cache — its lifetime is bounded by the
+	// RCS the advisor pins anyway; inference (Embed) stays on the
+	// transient dynamic path so arbitrary one-shot graphs are never
+	// retained.
+	mu    sync.Mutex
+	tapes map[*feature.Graph]*Tape
 }
+
+// Tape couples a recorded tape with the input leaves it reads from.
+type Tape struct {
+	g      *feature.Graph
+	x, adj *nn.Tensor
+	tape   *nn.Tape
+}
+
+// Forward refreshes the input leaves from the graph and replays the tape,
+// returning the 1×OutDim embedding tensor.
+func (gt *Tape) Forward() *nn.Tensor {
+	n := gt.x.C
+	for i, row := range gt.g.V {
+		copy(gt.x.V[i*n:(i+1)*n], row)
+	}
+	m := gt.adj.C
+	for i, row := range gt.g.E {
+		copy(gt.adj.V[i*m:(i+1)*m], row)
+	}
+	return gt.tape.Forward()
+}
+
+// Backward seeds the embedding gradient and replays the tape backward.
+func (gt *Tape) Backward(grad []float64) { gt.tape.Backward(grad) }
 
 // New builds a GIN encoder with Xavier-initialized weights and ε = 0.
 func New(cfg Config) *Encoder {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	e := &Encoder{cfg: cfg}
+	e := &Encoder{cfg: cfg, tapes: map[*feature.Graph]*Tape{}}
 	in := cfg.InDim
 	for l := 0; l < cfg.Layers; l++ {
 		out := cfg.Hidden
@@ -84,10 +121,8 @@ func (e *Encoder) OutDim() int { return e.cfg.OutDim }
 // Forward encodes a feature graph into a 1×OutDim embedding tensor that is
 // connected to the autodiff graph (call BackwardWithGrad on it to train).
 func (e *Encoder) Forward(g *feature.Graph) *nn.Tensor {
-	n := g.NumVertices()
 	h := nn.FromRows(g.V)
 	adj := nn.FromRows(g.E) // constant n×n aggregation matrix
-	_ = n
 	for _, l := range e.layers {
 		agg := nn.Add(nn.ScaleByScalar(h, l.onePlusEps), nn.MatMul(adj, h))
 		h = l.mlp.Forward(agg)
@@ -95,8 +130,48 @@ func (e *Encoder) Forward(g *feature.Graph) *nn.Tensor {
 	return nn.SumRows(h)
 }
 
+// buildTape records a fresh tape for g with dedicated input leaves.
+func (e *Encoder) buildTape(g *feature.Graph) *Tape {
+	n := g.NumVertices()
+	dim := 0
+	if n > 0 {
+		dim = len(g.V[0])
+	}
+	x := nn.Zeros(n, dim)
+	adj := nn.Zeros(n, n)
+	h := x
+	for _, l := range e.layers {
+		agg := nn.Add(nn.ScaleByScalar(h, l.onePlusEps), nn.MatMul(adj, h))
+		h = l.mlp.Forward(agg)
+	}
+	gt := &Tape{g: g, x: x, adj: adj, tape: nn.NewTape(nn.SumRows(h))}
+	return gt
+}
+
+// TapeFor returns the recorded forward/backward tape of g, building it on
+// first use. Replaying the tape (Forward, then Backward with the loss
+// gradient of the 1×OutDim embedding) is equivalent to Forward +
+// BackwardWithGrad but allocation-free in steady state; parameter
+// gradients accumulate across tapes exactly as in the dynamic path.
+//
+// Only the map lookup is synchronized: replaying a tape mutates its
+// recorded buffers, so concurrent replays of the same graph must be
+// serialized by the caller (the DML loop is single-goroutine; Embed locks).
+func (e *Encoder) TapeFor(g *feature.Graph) *Tape {
+	e.mu.Lock()
+	gt, ok := e.tapes[g]
+	if !ok {
+		gt = e.buildTape(g)
+		e.tapes[g] = gt
+	}
+	e.mu.Unlock()
+	return gt
+}
+
 // Embed encodes a feature graph and returns the embedding as a plain
-// vector (no gradient bookkeeping needed by callers).
+// vector (no gradient bookkeeping needed by callers). It runs the
+// transient dynamic path: recommendation targets are one-shot graphs, so
+// caching a tape for them would grow the encoder without bound.
 func (e *Encoder) Embed(g *feature.Graph) []float64 {
 	return e.Forward(g).Row(0)
 }

@@ -7,18 +7,21 @@ import (
 	"repro/internal/nn"
 )
 
-func BenchmarkEncoderForward(b *testing.B) {
+func BenchmarkGINEncoderForward(b *testing.B) {
 	cfg := DefaultConfig(162) // feature.DefaultConfig().VertexDim()
 	enc := New(cfg)
 	rng := rand.New(rand.NewSource(1))
 	g := randomGraph(rng, 5, 162)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Embed(g)
 	}
 }
 
-func BenchmarkEncoderTrainStep(b *testing.B) {
+// BenchmarkGINTrainStep is the dynamic-graph path: one forward +
+// backward + Adam step rebuilding the autodiff graph every iteration.
+func BenchmarkGINTrainStep(b *testing.B) {
 	cfg := DefaultConfig(162)
 	enc := New(cfg)
 	rng := rand.New(rand.NewSource(2))
@@ -28,10 +31,33 @@ func BenchmarkEncoderTrainStep(b *testing.B) {
 	for i := range seed {
 		seed[i] = 0.01
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := enc.Forward(g)
 		out.BackwardWithGrad(seed)
+		opt.Step()
+	}
+}
+
+// BenchmarkGINTapeTrainStep is the same train step on the cached
+// per-graph tape — the path the DML loop takes after its first epoch.
+func BenchmarkGINTapeTrainStep(b *testing.B) {
+	cfg := DefaultConfig(162)
+	enc := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 5, 162)
+	opt := nn.NewAdam(enc.Params(), 1e-3)
+	seed := make([]float64, cfg.OutDim)
+	for i := range seed {
+		seed[i] = 0.01
+	}
+	tp := enc.TapeFor(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.Forward()
+		tp.Backward(seed)
 		opt.Step()
 	}
 }

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Finite-difference gradient checks for the fused kernels: every analytic
+// backward path (blocked MatMul, fused bias+activation, masked variants,
+// the fused MADE cross-entropy) is verified against a central-difference
+// estimate on every parameter element.
+
+// checkTapeGrads verifies, for every element of every tensor in params,
+// that the analytic gradient produced by a tape backward pass matches the
+// central-difference quotient of replaying the recorded forward pass.
+func checkTapeGrads(t *testing.T, loss *Tensor, params []*Tensor, tol float64) {
+	t.Helper()
+	tape := NewTape(loss)
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	tape.Forward()
+	tape.BackwardScalar()
+	const h = 1e-6
+	for pi, p := range params {
+		for i := range p.V {
+			orig := p.V[i]
+			p.V[i] = orig + h
+			up := tape.Forward().Scalar()
+			p.V[i] = orig - h
+			down := tape.Forward().Scalar()
+			p.V[i] = orig
+			numeric := (up - down) / (2 * h)
+			analytic := p.G[i]
+			if diff := math.Abs(numeric - analytic); diff > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d element %d: analytic %g vs numeric %g", pi, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestAffineGradient(t *testing.T) {
+	for _, act := range []Activation{ActNone, ActReLU, ActSigmoid, ActTanh} {
+		rng := rand.New(rand.NewSource(41 + int64(act)))
+		x := randParam(rng, 5, 7) // param x also checks the input-gradient path
+		w := randParam(rng, 7, 4)
+		b := randParam(rng, 1, 4)
+		target := make([]float64, 5*4)
+		for i := range target {
+			target[i] = rng.NormFloat64()
+		}
+		loss := MSE(Affine(x, w, b, act), target)
+		checkTapeGrads(t, loss, []*Tensor{x, w, b}, 1e-4)
+	}
+}
+
+func TestMaskedAffineGradient(t *testing.T) {
+	for _, act := range []Activation{ActNone, ActReLU} {
+		rng := rand.New(rand.NewSource(47 + int64(act)))
+		x := randParam(rng, 4, 6)
+		w := randParam(rng, 6, 5)
+		b := randParam(rng, 1, 5)
+		mask := make([]float64, 6*5)
+		for i := range mask {
+			if rng.Float64() < 0.6 {
+				mask[i] = 1
+			}
+		}
+		target := make([]float64, 4*5)
+		for i := range target {
+			target[i] = rng.NormFloat64()
+		}
+		loss := MSE(MaskedAffine(x, w, b, mask, act), target)
+		checkTapeGrads(t, loss, []*Tensor{x, w, b}, 1e-4)
+
+		// Gradients must never flow into masked positions.
+		for i, mv := range mask {
+			if mv == 0 && w.G[i] != 0 {
+				t.Fatalf("gradient %g leaked into masked weight %d", w.G[i], i)
+			}
+		}
+	}
+}
+
+func TestMadeCrossEntropyGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	offsets := []int{0, 3, 7}
+	bins := []int{3, 4, 2}
+	width := 9
+	rows := 5
+	logits := randParam(rng, rows, width)
+	targets := make([]int, rows*len(bins))
+	for i := 0; i < rows; i++ {
+		for c, nb := range bins {
+			targets[i*len(bins)+c] = rng.Intn(nb)
+		}
+	}
+	loss := MadeCrossEntropy(logits, offsets, bins, targets)
+	checkTapeGrads(t, loss, []*Tensor{logits}, 1e-4)
+}
+
+// TestMadeCrossEntropyMatchesUnfused pins the fused op to the composition
+// it replaces: SliceCols + SoftmaxCrossEntropy per column + SumScalars.
+func TestMadeCrossEntropyMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	offsets := []int{0, 4, 6}
+	bins := []int{4, 2, 5}
+	width := 11
+	rows := 6
+	vals := make([]float64, rows*width)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	targets := make([]int, rows*len(bins))
+	for i := 0; i < rows; i++ {
+		for c, nb := range bins {
+			targets[i*len(bins)+c] = rng.Intn(nb)
+		}
+	}
+
+	fusedIn := NewParam(rows, width)
+	copy(fusedIn.V, vals)
+	fused := MadeCrossEntropy(fusedIn, offsets, bins, targets)
+	fused.Backward()
+
+	plainIn := NewParam(rows, width)
+	copy(plainIn.V, vals)
+	var losses []*Tensor
+	for c, nb := range bins {
+		block := SliceCols(plainIn, offsets[c], offsets[c]+nb)
+		soft := make([][]float64, rows)
+		for i := 0; i < rows; i++ {
+			soft[i] = make([]float64, nb)
+			soft[i][targets[i*len(bins)+c]] = 1
+		}
+		losses = append(losses, SoftmaxCrossEntropy(block, soft))
+	}
+	plain := SumScalars(losses...)
+	plain.Backward()
+
+	if diff := math.Abs(fused.Scalar() - plain.Scalar()); diff > 1e-9 {
+		t.Fatalf("fused loss %g vs unfused %g", fused.Scalar(), plain.Scalar())
+	}
+	for i := range fusedIn.G {
+		if diff := math.Abs(fusedIn.G[i] - plainIn.G[i]); diff > 1e-9 {
+			t.Fatalf("gradient %d: fused %g vs unfused %g", i, fusedIn.G[i], plainIn.G[i])
+		}
+	}
+}

@@ -13,19 +13,6 @@ const (
 	ActTanh
 )
 
-func applyAct(a Activation, t *Tensor) *Tensor {
-	switch a {
-	case ActReLU:
-		return ReLU(t)
-	case ActSigmoid:
-		return Sigmoid(t)
-	case ActTanh:
-		return Tanh(t)
-	default:
-		return t
-	}
-}
-
 // Dense is a fully connected layer y = act(x@W + b).
 type Dense struct {
 	W, B *Tensor
@@ -37,9 +24,9 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 	return &Dense{W: XavierParam(rng, in, out), B: NewParam(1, out), Act: act}
 }
 
-// Forward applies the layer to x (m×in).
+// Forward applies the layer to x (m×in) as one fused Affine node.
 func (d *Dense) Forward(x *Tensor) *Tensor {
-	return applyAct(d.Act, AddBias(MatMul(x, d.W), d.B))
+	return Affine(x, d.W, d.B, d.Act)
 }
 
 // Params returns the layer's trainable tensors.

@@ -11,9 +11,12 @@ func SliceCols(a *Tensor, lo, hi int) *Tensor {
 	}
 	w := hi - lo
 	out := Zeros(a.R, w)
-	for i := 0; i < a.R; i++ {
-		copy(out.V[i*w:(i+1)*w], a.V[i*a.C+lo:i*a.C+hi])
+	out.fwd = func() {
+		for i := 0; i < a.R; i++ {
+			copy(out.V[i*w:(i+1)*w], a.V[i*a.C+lo:i*a.C+hi])
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a}
 	out.back = func() {
 		if a.needsGrad() {
@@ -35,13 +38,18 @@ func SumScalars(ts ...*Tensor) *Tensor {
 		panic("nn: SumScalars of nothing")
 	}
 	out := Zeros(1, 1)
-	for _, t := range ts {
-		if t.R != 1 || t.C != 1 {
-			panic("nn: SumScalars with non-scalar input")
-		}
-		out.V[0] += t.V[0]
-	}
 	parents := append([]*Tensor(nil), ts...)
+	out.fwd = func() {
+		var s float64
+		for _, t := range parents {
+			if t.R != 1 || t.C != 1 {
+				panic("nn: SumScalars with non-scalar input")
+			}
+			s += t.V[0]
+		}
+		out.V[0] = s
+	}
+	out.fwd()
 	out.prev = parents
 	out.back = func() {
 		for _, t := range parents {
@@ -56,8 +64,9 @@ func SumScalars(ts ...*Tensor) *Tensor {
 
 // MaskedMatMul returns a @ (w ∘ mask) where mask is a constant 0/1 matrix
 // the same shape as w. It implements MADE's masked dense layers: the mask
-// is applied to the weight values on every call, so gradients into masked
-// positions are also zeroed (the product rule with a constant zero).
+// is applied to the weight values on every forward pass, so gradients into
+// masked positions are also zeroed (the product rule with a constant zero).
+// Prefer MaskedAffine when the bias and activation can be fused in.
 func MaskedMatMul(a, w *Tensor, mask []float64) *Tensor {
 	if len(mask) != w.R*w.C {
 		panic(fmt.Sprintf("nn: MaskedMatMul mask len %d for %dx%d", len(mask), w.R, w.C))
@@ -65,54 +74,33 @@ func MaskedMatMul(a, w *Tensor, mask []float64) *Tensor {
 	if a.C != w.R {
 		panic(fmt.Sprintf("nn: MaskedMatMul %dx%d @ %dx%d", a.R, a.C, w.R, w.C))
 	}
-	out := Zeros(a.R, w.C)
-	for i := 0; i < a.R; i++ {
-		arow := a.V[i*a.C : (i+1)*a.C]
-		orow := out.V[i*w.C : (i+1)*w.C]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			wrow := w.V[k*w.C : (k+1)*w.C]
-			mrow := mask[k*w.C : (k+1)*w.C]
-			for j := range wrow {
-				orow[j] += av * wrow[j] * mrow[j]
-			}
-		}
+	m, k, n := a.R, a.C, w.C
+	wm := make([]float64, k*n)
+	out := Zeros(m, n)
+	out.fwd = func() {
+		maskMulInto(wm, w.V, mask)
+		matMulInto(out.V, a.V, wm, m, k, n)
 	}
+	out.fwd()
 	out.prev = []*Tensor{a, w}
+	var dwm []float64
 	out.back = func() {
 		if a.needsGrad() {
 			a.ensureGrad()
-			for i := 0; i < a.R; i++ {
-				grow := out.G[i*w.C : (i+1)*w.C]
-				agrow := a.G[i*a.C : (i+1)*a.C]
-				for k := 0; k < a.C; k++ {
-					wrow := w.V[k*w.C : (k+1)*w.C]
-					mrow := mask[k*w.C : (k+1)*w.C]
-					var s float64
-					for j, gv := range grow {
-						s += gv * wrow[j] * mrow[j]
-					}
-					agrow[k] += s
-				}
-			}
+			mulABTAccum(a.G, out.G, wm, m, n, k)
 		}
 		if w.needsGrad() {
 			w.ensureGrad()
-			for i := 0; i < a.R; i++ {
-				arow := a.V[i*a.C : (i+1)*a.C]
-				grow := out.G[i*w.C : (i+1)*w.C]
-				for k, av := range arow {
-					if av == 0 {
-						continue
-					}
-					wgrow := w.G[k*w.C : (k+1)*w.C]
-					mrow := mask[k*w.C : (k+1)*w.C]
-					for j, gv := range grow {
-						wgrow[j] += av * gv * mrow[j]
-					}
+			if dwm == nil {
+				dwm = make([]float64, k*n)
+			} else {
+				for i := range dwm {
+					dwm[i] = 0
 				}
+			}
+			mulATBAccum(dwm, a.V, out.G, m, k, n)
+			for i, g := range dwm {
+				w.G[i] += g * mask[i]
 			}
 		}
 	}

@@ -72,19 +72,24 @@ func (a *Adam) Step() {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	// Fold the bias corrections into the update constants so the inner
+	// loop is one fused multiply-add chain plus a sqrt: the step is
+	// lr/bc1 * m / (sqrt(v/bc2) + eps) = lrT * m / (sqrt(v)*rbc2 + eps).
+	lrT := a.LR / bc1
+	rbc2 := 1 / math.Sqrt(bc2)
+	b1, b2, clip, eps := a.Beta1, a.Beta2, a.Clip, a.Eps
 	for pi, p := range a.Params {
 		m, v := a.m[pi], a.v[pi]
-		for i := range p.V {
-			g := p.G[i]
-			if a.Clip > 0 {
-				g = clamp(g, -a.Clip, a.Clip)
+		pv, pg := p.V, p.G
+		for i, g := range pg {
+			if clip > 0 {
+				g = clamp(g, -clip, clip)
 			}
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
-			mhat := m[i] / bc1
-			vhat := v[i] / bc2
-			p.V[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
-			p.G[i] = 0
+			mi := b1*m[i] + (1-b1)*g
+			vi := b2*v[i] + (1-b2)*g*g
+			m[i], v[i] = mi, vi
+			pv[i] -= lrT * mi / (math.Sqrt(vi)*rbc2 + eps)
+			pg[i] = 0
 		}
 	}
 }

@@ -10,12 +10,16 @@ func ScaleByScalar(a, s *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: ScaleByScalar with %dx%d scalar", s.R, s.C))
 	}
 	out := Zeros(a.R, a.C)
-	sv := s.V[0]
-	for i := range out.V {
-		out.V[i] = a.V[i] * sv
+	out.fwd = func() {
+		sv := s.V[0]
+		for i := range out.V {
+			out.V[i] = a.V[i] * sv
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a, s}
 	out.back = func() {
+		sv := s.V[0]
 		if a.needsGrad() {
 			a.ensureGrad()
 			for i := range out.G {

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillRand writes fresh pseudo-random values into dst.
+func fillRand(rng *rand.Rand, dst []float64) {
+	for i := range dst {
+		dst[i] = rng.NormFloat64()
+	}
+}
+
+// TestTapeReplayMatchesDynamic trains two identically initialized MLPs on
+// the same stream of minibatches — one replaying a recorded tape, one
+// rebuilding the graph every step — and requires identical losses and
+// identical parameters throughout.
+func TestTapeReplayMatchesDynamic(t *testing.T) {
+	sizes := []int{10, 16, 8, 1}
+	tapeNet := NewMLP(rand.New(rand.NewSource(7)), sizes, ActReLU, ActNone)
+	dynNet := NewMLP(rand.New(rand.NewSource(7)), sizes, ActReLU, ActNone)
+
+	const batch = 4
+	x := Zeros(batch, 10)
+	target := make([]float64, batch)
+	tape := NewTape(MSE(tapeNet.Forward(x), target))
+	tapeOpt := NewAdam(tapeNet.Params(), 1e-2)
+	dynOpt := NewAdam(dynNet.Params(), 1e-2)
+
+	data := rand.New(rand.NewSource(99))
+	for step := 0; step < 25; step++ {
+		fillRand(data, x.V)
+		fillRand(data, target)
+
+		tape.Forward()
+		tapeLoss := tape.Out().Scalar()
+		tape.BackwardScalar()
+		tapeOpt.Step()
+
+		dx := Zeros(batch, 10)
+		copy(dx.V, x.V)
+		dynLoss := MSE(dynNet.Forward(dx), target)
+		dynLoss.Backward()
+		dynOpt.Step()
+
+		if math.Abs(tapeLoss-dynLoss.Scalar()) > 1e-12 {
+			t.Fatalf("step %d: tape loss %g vs dynamic %g", step, tapeLoss, dynLoss.Scalar())
+		}
+	}
+	tp, dp := tapeNet.Params(), dynNet.Params()
+	for pi := range tp {
+		for i := range tp[pi].V {
+			if math.Abs(tp[pi].V[i]-dp[pi].V[i]) > 1e-12 {
+				t.Fatalf("param %d element %d diverged: %g vs %g", pi, i, tp[pi].V[i], dp[pi].V[i])
+			}
+		}
+	}
+}
+
+// TestTapeGradientAccumulation verifies parameter gradients accumulate
+// across Backward calls (the DML loop backpropagates a whole batch of
+// tapes before one optimizer step) while intermediate gradients reset.
+func TestTapeGradientAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := XavierParam(rng, 3, 2)
+	b := NewParam(1, 2)
+	x := Zeros(2, 3)
+	fillRand(rng, x.V)
+	target := make([]float64, 4)
+	tape := NewTape(MSE(Affine(x, w, b, ActTanh), target))
+
+	tape.Forward()
+	tape.BackwardScalar()
+	once := append([]float64(nil), w.G...)
+	tape.Forward()
+	tape.BackwardScalar()
+	for i := range w.G {
+		if math.Abs(w.G[i]-2*once[i]) > 1e-12 {
+			t.Fatalf("gradient %d did not accumulate: %g after two passes, %g after one", i, w.G[i], once[i])
+		}
+	}
+}
+
+// TestTapeStepZeroAlloc asserts the headline property of the tape: a
+// steady-state training step (forward + backward + Adam update) performs
+// zero heap allocations.
+func TestTapeStepZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mlp := NewMLP(rng, []int{32, 32, 16, 1}, ActReLU, ActNone)
+	const batch = 8
+	x := Zeros(batch, 32)
+	fillRand(rng, x.V)
+	target := make([]float64, batch)
+	fillRand(rng, target)
+	tape := NewTape(MSE(mlp.Forward(x), target))
+	opt := NewAdam(mlp.Params(), 1e-3)
+
+	// Warm up: first backward may allocate lazily created buffers.
+	tape.Forward()
+	tape.BackwardScalar()
+	opt.Step()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		tape.Forward()
+		tape.BackwardScalar()
+		opt.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tape step allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -5,10 +5,14 @@
 // autoregressive data-driven estimators (NeuroCard, UAE), the MLP selection
 // baseline, and AutoCE's GIN graph encoder.
 //
-// The autodiff design follows the classic tape-free "micrograd" scheme:
-// every operation returns a Tensor that remembers its parents and a closure
-// that propagates gradients to them; Backward performs a topological sort
-// and runs the closures in reverse order.
+// The autodiff design follows the classic "micrograd" scheme — every
+// operation returns a Tensor that remembers its parents and a closure that
+// propagates gradients to them — extended with a forward closure per
+// operation so a recorded graph can be replayed. Training loops that repeat
+// the same graph shape every step wrap the built graph in a Tape (tape.go):
+// subsequent Forward/Backward passes reset and replay the recorded closures
+// in place of rebuilding the graph, making steady-state steps allocation
+// free.
 package nn
 
 import (
@@ -19,13 +23,16 @@ import (
 
 // Tensor is a row-major matrix participating in the autodiff graph.
 // Leaf tensors created with NewParam accumulate gradients; tensors created
-// by operations carry backward closures.
+// by operations carry forward/backward closures.
 type Tensor struct {
 	R, C int
 	V    []float64 // values, len R*C
 	G    []float64 // gradient, allocated lazily
 
 	prev []*Tensor
+	// fwd recomputes V from the parents' current values; back propagates
+	// G into the parents. Both are nil on leaves.
+	fwd  func()
 	back func()
 	// param marks trainable leaves so Backward propagates into them.
 	param bool
@@ -184,53 +191,17 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: MatMul %dx%d @ %dx%d", a.R, a.C, b.R, b.C))
 	}
 	out := Zeros(a.R, b.C)
-	for i := 0; i < a.R; i++ {
-		arow := a.V[i*a.C : (i+1)*a.C]
-		orow := out.V[i*b.C : (i+1)*b.C]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.V[k*b.C : (k+1)*b.C]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	out.fwd = func() { matMulInto(out.V, a.V, b.V, a.R, a.C, b.C) }
+	out.fwd()
 	out.prev = []*Tensor{a, b}
 	out.back = func() {
 		if a.needsGrad() {
 			a.ensureGrad()
-			// dA = dOut @ B^T
-			for i := 0; i < a.R; i++ {
-				grow := out.G[i*b.C : (i+1)*b.C]
-				agrow := a.G[i*a.C : (i+1)*a.C]
-				for k := 0; k < a.C; k++ {
-					brow := b.V[k*b.C : (k+1)*b.C]
-					var s float64
-					for j, gv := range grow {
-						s += gv * brow[j]
-					}
-					agrow[k] += s
-				}
-			}
+			mulABTAccum(a.G, out.G, b.V, a.R, b.C, a.C) // dA += dOut @ Bᵀ
 		}
 		if b.needsGrad() {
 			b.ensureGrad()
-			// dB = A^T @ dOut
-			for i := 0; i < a.R; i++ {
-				arow := a.V[i*a.C : (i+1)*a.C]
-				grow := out.G[i*b.C : (i+1)*b.C]
-				for k, av := range arow {
-					if av == 0 {
-						continue
-					}
-					bgrow := b.G[k*b.C : (k+1)*b.C]
-					for j, gv := range grow {
-						bgrow[j] += av * gv
-					}
-				}
-			}
+			mulATBAccum(b.G, a.V, out.G, a.R, a.C, b.C) // dB += Aᵀ @ dOut
 		}
 	}
 	return out
@@ -240,9 +211,12 @@ func MatMul(a, b *Tensor) *Tensor {
 func Add(a, b *Tensor) *Tensor {
 	sameShape(a, b)
 	out := Zeros(a.R, a.C)
-	for i := range out.V {
-		out.V[i] = a.V[i] + b.V[i]
+	out.fwd = func() {
+		for i := range out.V {
+			out.V[i] = a.V[i] + b.V[i]
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a, b}
 	out.back = func() {
 		if a.needsGrad() {
@@ -265,9 +239,12 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	sameShape(a, b)
 	out := Zeros(a.R, a.C)
-	for i := range out.V {
-		out.V[i] = a.V[i] - b.V[i]
+	out.fwd = func() {
+		for i := range out.V {
+			out.V[i] = a.V[i] - b.V[i]
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a, b}
 	out.back = func() {
 		if a.needsGrad() {
@@ -290,9 +267,12 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	sameShape(a, b)
 	out := Zeros(a.R, a.C)
-	for i := range out.V {
-		out.V[i] = a.V[i] * b.V[i]
+	out.fwd = func() {
+		for i := range out.V {
+			out.V[i] = a.V[i] * b.V[i]
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a, b}
 	out.back = func() {
 		if a.needsGrad() {
@@ -314,9 +294,12 @@ func Mul(a, b *Tensor) *Tensor {
 // Scale returns s * a.
 func Scale(a *Tensor, s float64) *Tensor {
 	out := Zeros(a.R, a.C)
-	for i := range out.V {
-		out.V[i] = a.V[i] * s
+	out.fwd = func() {
+		for i := range out.V {
+			out.V[i] = a.V[i] * s
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a}
 	out.back = func() {
 		if a.needsGrad() {
@@ -335,11 +318,11 @@ func AddBias(a, bias *Tensor) *Tensor {
 		panic(fmt.Sprintf("nn: AddBias %dx%d + %dx%d", a.R, a.C, bias.R, bias.C))
 	}
 	out := Zeros(a.R, a.C)
-	for i := 0; i < a.R; i++ {
-		for j := 0; j < a.C; j++ {
-			out.V[i*a.C+j] = a.V[i*a.C+j] + bias.V[j]
-		}
+	out.fwd = func() {
+		copy(out.V, a.V)
+		addBiasRows(out.V, bias.V, a.R, a.C)
 	}
+	out.fwd()
 	out.prev = []*Tensor{a, bias}
 	out.back = func() {
 		if a.needsGrad() {
@@ -350,11 +333,7 @@ func AddBias(a, bias *Tensor) *Tensor {
 		}
 		if bias.needsGrad() {
 			bias.ensureGrad()
-			for i := 0; i < a.R; i++ {
-				for j := 0; j < a.C; j++ {
-					bias.G[j] += out.G[i*a.C+j]
-				}
-			}
+			colSumAccum(bias.G, out.G, a.R, a.C)
 		}
 	}
 	return out
@@ -363,11 +342,16 @@ func AddBias(a, bias *Tensor) *Tensor {
 // ReLU returns max(a, 0) elementwise.
 func ReLU(a *Tensor) *Tensor {
 	out := Zeros(a.R, a.C)
-	for i, v := range a.V {
-		if v > 0 {
-			out.V[i] = v
+	out.fwd = func() {
+		for i, v := range a.V {
+			if v > 0 {
+				out.V[i] = v
+			} else {
+				out.V[i] = 0
+			}
 		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a}
 	out.back = func() {
 		if a.needsGrad() {
@@ -385,9 +369,12 @@ func ReLU(a *Tensor) *Tensor {
 // Sigmoid returns 1/(1+exp(-a)) elementwise.
 func Sigmoid(a *Tensor) *Tensor {
 	out := Zeros(a.R, a.C)
-	for i, v := range a.V {
-		out.V[i] = 1 / (1 + math.Exp(-v))
+	out.fwd = func() {
+		for i, v := range a.V {
+			out.V[i] = 1 / (1 + math.Exp(-v))
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a}
 	out.back = func() {
 		if a.needsGrad() {
@@ -404,9 +391,12 @@ func Sigmoid(a *Tensor) *Tensor {
 // Tanh returns tanh(a) elementwise.
 func Tanh(a *Tensor) *Tensor {
 	out := Zeros(a.R, a.C)
-	for i, v := range a.V {
-		out.V[i] = math.Tanh(v)
+	out.fwd = func() {
+		for i, v := range a.V {
+			out.V[i] = math.Tanh(v)
+		}
 	}
+	out.fwd()
 	out.prev = []*Tensor{a}
 	out.back = func() {
 		if a.needsGrad() {
@@ -424,18 +414,21 @@ func Tanh(a *Tensor) *Tensor {
 // readout.
 func SumRows(a *Tensor) *Tensor {
 	out := Zeros(1, a.C)
-	for i := 0; i < a.R; i++ {
-		for j := 0; j < a.C; j++ {
-			out.V[j] += a.V[i*a.C+j]
+	out.fwd = func() {
+		for j := range out.V {
+			out.V[j] = 0
 		}
+		colSumAccum(out.V, a.V, a.R, a.C)
 	}
+	out.fwd()
 	out.prev = []*Tensor{a}
 	out.back = func() {
 		if a.needsGrad() {
 			a.ensureGrad()
 			for i := 0; i < a.R; i++ {
-				for j := 0; j < a.C; j++ {
-					a.G[i*a.C+j] += out.G[j]
+				row := a.G[i*a.C : (i+1)*a.C]
+				for j, g := range out.G {
+					row[j] += g
 				}
 			}
 		}
@@ -466,14 +459,17 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		total += t.C
 	}
 	out := Zeros(r, total)
-	off := 0
-	for _, t := range ts {
-		for i := 0; i < r; i++ {
-			copy(out.V[i*total+off:i*total+off+t.C], t.V[i*t.C:(i+1)*t.C])
-		}
-		off += t.C
-	}
 	parents := append([]*Tensor(nil), ts...)
+	out.fwd = func() {
+		off := 0
+		for _, t := range parents {
+			for i := 0; i < r; i++ {
+				copy(out.V[i*total+off:i*total+off+t.C], t.V[i*t.C:(i+1)*t.C])
+			}
+			off += t.C
+		}
+	}
+	out.fwd()
 	out.prev = parents
 	out.back = func() {
 		off := 0
@@ -493,18 +489,24 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 }
 
 // MSE returns mean squared error between pred and a constant target of the
-// same shape, as a 1×1 tensor.
+// same shape, as a 1×1 tensor. The target slice is captured by reference:
+// a Tape replay re-reads it, so batched training loops overwrite it in
+// place between steps.
 func MSE(pred *Tensor, target []float64) *Tensor {
 	if len(target) != pred.R*pred.C {
 		panic(fmt.Sprintf("nn: MSE target len %d for %dx%d", len(target), pred.R, pred.C))
 	}
 	n := float64(len(target))
 	out := Zeros(1, 1)
-	for i := range target {
-		d := pred.V[i] - target[i]
-		out.V[0] += d * d
+	out.fwd = func() {
+		var s float64
+		for i := range target {
+			d := pred.V[i] - target[i]
+			s += d * d
+		}
+		out.V[0] = s / n
 	}
-	out.V[0] /= n
+	out.fwd()
 	out.prev = []*Tensor{pred}
 	out.back = func() {
 		if pred.needsGrad() {
@@ -520,6 +522,7 @@ func MSE(pred *Tensor, target []float64) *Tensor {
 // SoftmaxCrossEntropy returns the mean cross-entropy between row-wise
 // softmax(logits) and constant soft-target rows, as a 1×1 tensor. Targets
 // may be one-hot or arbitrary distributions (each row should sum to 1).
+// The target rows are captured by reference for Tape replay.
 func SoftmaxCrossEntropy(logits *Tensor, targets [][]float64) *Tensor {
 	if len(targets) != logits.R {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy %d target rows for %d logit rows", len(targets), logits.R))
@@ -527,28 +530,32 @@ func SoftmaxCrossEntropy(logits *Tensor, targets [][]float64) *Tensor {
 	m, k := logits.R, logits.C
 	probs := make([]float64, m*k)
 	out := Zeros(1, 1)
-	for i := 0; i < m; i++ {
-		row := logits.V[i*k : (i+1)*k]
-		maxv := row[0]
-		for _, v := range row[1:] {
-			if v > maxv {
-				maxv = v
+	out.fwd = func() {
+		var loss float64
+		for i := 0; i < m; i++ {
+			row := logits.V[i*k : (i+1)*k]
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for j, v := range row {
+				e := math.Exp(v - maxv)
+				probs[i*k+j] = e
+				sum += e
+			}
+			for j := range row {
+				probs[i*k+j] /= sum
+				if targets[i][j] > 0 {
+					loss -= targets[i][j] * math.Log(probs[i*k+j]+1e-12)
+				}
 			}
 		}
-		var sum float64
-		for j, v := range row {
-			e := math.Exp(v - maxv)
-			probs[i*k+j] = e
-			sum += e
-		}
-		for j := range row {
-			probs[i*k+j] /= sum
-			if targets[i][j] > 0 {
-				out.V[0] -= targets[i][j] * math.Log(probs[i*k+j]+1e-12)
-			}
-		}
+		out.V[0] = loss / float64(m)
 	}
-	out.V[0] /= float64(m)
+	out.fwd()
 	out.prev = []*Tensor{logits}
 	out.back = func() {
 		if logits.needsGrad() {

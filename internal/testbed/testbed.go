@@ -173,82 +173,132 @@ func buildModels(cfg Config) []ce.Estimator {
 	}
 }
 
-// Run labels one dataset: it trains all models and measures them on the
-// testing queries.
-func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
-	start := time.Now()
-	// Stage 1: generate the workload with true cardinalities acquired
-	// from the engine's batched oracle (shared per-dataset join index,
-	// one evaluator per worker; see workload.Label).
+// Prepared is a labeling run staged between phases: the workload has been
+// generated and labeled by the oracle, the join sample drawn, and the
+// untrained model registry built. Model training jobs (TrainModel) are
+// independent of each other — every model owns its RNG, seeded from the
+// run configuration, and only reads the shared dataset/sample/sizes — so a
+// corpus driver can fan (dataset, model) pairs over a worker pool and
+// still produce exactly the labels of the serial path.
+type Prepared struct {
+	D      *dataset.Dataset
+	Cfg    Config
+	Train  []*workload.Query
+	Test   []*workload.Query
+	Sample *engine.JoinSample
+	Sizes  *ce.SubsetSizes
+	Models []ce.Estimator
+
+	start time.Time
+}
+
+// Prepare stages a labeling run for d: it generates the workload with true
+// cardinalities acquired from the engine's batched oracle (shared
+// per-dataset join index, one evaluator per worker; see workload.Label),
+// splits it, draws the join sample, and builds the untrained registry.
+func Prepare(d *dataset.Dataset, cfg Config) (*Prepared, error) {
+	p := &Prepared{D: d, Cfg: cfg, start: time.Now()}
 	qs := workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
-	train, test := workload.Split(qs, cfg.TrainFrac, cfg.Seed+1)
-	if len(train) == 0 || len(test) == 0 {
-		return nil, fmt.Errorf("testbed: degenerate workload split (%d train, %d test)", len(train), len(test))
+	p.Train, p.Test = workload.Split(qs, cfg.TrainFrac, cfg.Seed+1)
+	if len(p.Train) == 0 || len(p.Test) == 0 {
+		return nil, fmt.Errorf("testbed: degenerate workload split (%d train, %d test)", len(p.Train), len(p.Test))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	sample := engine.SampleJoin(d, cfg.SampleRows, rng)
+	p.Sample = engine.SampleJoin(d, cfg.SampleRows, rng)
 	// Join-subset sizes are shared across the data-driven models instead
 	// of each recomputing them.
-	sizes := ce.ComputeSubsetSizes(d)
-
-	models := buildModels(cfg)
-	for i, m := range models {
-		if m == nil {
-			continue
-		}
+	p.Sizes = ce.ComputeSubsetSizes(d)
+	p.Models = buildModels(cfg)
+	for _, m := range p.Models {
 		if sa, ok := m.(ce.SizeAware); ok {
-			sa.SetSubsetSizes(sizes)
-		}
-		var err error
-		switch tm := m.(type) {
-		case ce.Hybrid:
-			err = tm.TrainBoth(d, sample, train)
-		case ce.DataDriven:
-			err = tm.TrainData(d, sample)
-		case ce.QueryDriven:
-			err = tm.TrainQueries(d, train)
-		default:
-			err = fmt.Errorf("model %s implements no training interface", m.Name())
-		}
-		if err != nil {
-			return nil, fmt.Errorf("testbed: training %s on %s: %w", ModelNames[i], d.Name, err)
+			sa.SetSubsetSizes(p.Sizes)
 		}
 	}
+	return p, nil
+}
+
+// NumModels returns the registry size, the number of TrainModel jobs.
+func (p *Prepared) NumModels() int { return len(p.Models) }
+
+// TrainModel trains registry entry i. Jobs are mutually independent and
+// touch only read-only shared state, so distinct indexes may run
+// concurrently (also across Prepared instances).
+func (p *Prepared) TrainModel(i int) error {
+	m := p.Models[i]
+	if m == nil {
+		return nil
+	}
+	var err error
+	switch tm := m.(type) {
+	case ce.Hybrid:
+		err = tm.TrainBoth(p.D, p.Sample, p.Train)
+	case ce.DataDriven:
+		err = tm.TrainData(p.D, p.Sample)
+	case ce.QueryDriven:
+		err = tm.TrainQueries(p.D, p.Train)
+	default:
+		err = fmt.Errorf("model %s implements no training interface", m.Name())
+	}
+	if err != nil {
+		return fmt.Errorf("testbed: training %s on %s: %w", ModelNames[i], p.D.Name, err)
+	}
+	return nil
+}
+
+// Finish assembles the ensemble, measures every model on the testing
+// queries, and normalizes the scores into the label.
+func (p *Prepared) Finish() (*Result, error) {
+	models := p.Models
 	members := make([]ce.Estimator, 0, NumModels-2)
 	for i := 0; i < ModelPostgres; i++ {
 		members = append(members, models[i])
 	}
 	// Calibrate the ensemble on a slice of the training queries to keep
 	// labeling cost bounded.
-	calib := train
+	calib := p.Train
 	if len(calib) > 40 {
 		calib = calib[:40]
 	}
 	models[ModelEnsemble] = ensemble.New(members, calib)
 
-	label := &Label{DatasetName: d.Name, Perfs: make([]metrics.Perf, NumModels)}
+	label := &Label{DatasetName: p.D.Name, Perfs: make([]metrics.Perf, NumModels)}
 	for i, m := range models {
-		ests := make([]float64, len(test))
-		truths := make([]float64, len(test))
+		ests := make([]float64, len(p.Test))
+		truths := make([]float64, len(p.Test))
 		t0 := time.Now()
-		for qi, q := range test {
+		for qi, q := range p.Test {
 			ests[qi] = m.Estimate(q)
 			truths[qi] = float64(q.TrueCard)
 		}
 		elapsed := time.Since(t0)
 		label.Perfs[i] = metrics.Perf{
 			QErrorMean:  metrics.MeanQError(ests, truths),
-			LatencyMean: elapsed.Seconds() / float64(len(test)),
+			LatencyMean: elapsed.Seconds() / float64(len(p.Test)),
 		}
 	}
 	label.Sa, label.Se = metrics.NormalizeScores(label.Perfs[:NumCandidates])
 	return &Result{
 		Label:        label,
 		Models:       models,
-		Train:        train,
-		Test:         test,
-		LabelingTime: time.Since(start),
+		Train:        p.Train,
+		Test:         p.Test,
+		LabelingTime: time.Since(p.start),
 	}, nil
+}
+
+// Run labels one dataset serially: it trains all models and measures them
+// on the testing queries.
+func Run(d *dataset.Dataset, cfg Config) (*Result, error) {
+	p, err := Prepare(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.NumModels(); i++ {
+		if err := p.TrainModel(i); err != nil {
+			return nil, err
+		}
+	}
+	return p.Finish()
 }
 
 // LabelOnly runs the testbed and returns just the label.
