@@ -1,0 +1,338 @@
+// Command autoce-serve exposes a trained advisor as an HTTP/JSON
+// recommendation service — the paper's cloud-vendor scenario (Section I)
+// as an actual server. It loads a gob advisor written by `autoce -save`
+// (or core.Advisor.SaveFile) and serves:
+//
+//	POST /recommend  {"v": [[...]], "e": [[...]], "wa": 0.9, "k": 2}
+//	                 -> the selected model, its averaged score vector, and
+//	                    the RCS neighbors consulted
+//	POST /drift      {"v": [[...]], "e": [[...]]}
+//	                 -> whether the graph lies outside the trained
+//	                    distribution, with distance and threshold
+//	POST /adapt      {"name": "...", "v": ..., "e": ..., "sa": [...],
+//	                  "se": [...], "epochs": 2}
+//	                 -> online-adapts the advisor with a freshly labeled
+//	                    sample (Section V-E) and reports the new RCS size
+//	GET  /healthz    -> liveness plus RCS size
+//
+// The graph payload is the feature graph of internal/feature: "v" is the
+// n×VertexDim vertex matrix, "e" the n×n weighted adjacency matrix.
+//
+// Requests are served from the advisor's lock-free snapshot, so any
+// number of /recommend and /drift calls proceed concurrently; /adapt
+// retrains in the background of those reads and atomically publishes the
+// adapted snapshot. Shutdown is graceful: SIGINT/SIGTERM stop the
+// listener and drain in-flight requests.
+//
+// Usage:
+//
+//	autoce -train 40 -save advisor.gob
+//	autoce-serve -advisor advisor.gob -addr :8080
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feature"
+	"repro/internal/testbed"
+)
+
+func main() {
+	advisorPath := flag.String("advisor", "", "path to a gob advisor written by core.Advisor.SaveFile (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+	if *advisorPath == "" {
+		fmt.Fprintln(os.Stderr, "autoce-serve: -advisor is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	adv, err := core.LoadFile(*advisorPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded advisor from %s (%d labeled datasets in the RCS, k=%d)",
+		*advisorPath, len(adv.RCS()), adv.Serving().K())
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(adv)}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down (draining in-flight requests)...")
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Print("bye")
+}
+
+// server holds the shared advisor behind the HTTP handlers.
+type server struct {
+	adv *core.Advisor
+}
+
+// newServer wires the endpoint handlers onto a mux (split out of main so
+// the httptest suite can drive the exact production routing).
+func newServer(adv *core.Advisor) http.Handler {
+	s := &server{adv: adv}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recommend", s.handleRecommend)
+	mux.HandleFunc("/drift", s.handleDrift)
+	mux.HandleFunc("/adapt", s.handleAdapt)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// graphPayload is the JSON form of a feature graph.
+type graphPayload struct {
+	Name string      `json:"name"`
+	V    [][]float64 `json:"v"`
+	E    [][]float64 `json:"e"`
+}
+
+// toGraph validates shapes and converts the payload.
+func (p *graphPayload) toGraph() (*feature.Graph, error) {
+	n := len(p.V)
+	if n == 0 {
+		return nil, errors.New("graph has no vertices (empty \"v\")")
+	}
+	dim := len(p.V[0])
+	if dim == 0 {
+		return nil, errors.New("vertex features are empty")
+	}
+	for i, row := range p.V {
+		if len(row) != dim {
+			return nil, fmt.Errorf("vertex %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	if len(p.E) != n {
+		return nil, fmt.Errorf("adjacency has %d rows for %d vertices", len(p.E), n)
+	}
+	for i, row := range p.E {
+		if len(row) != n {
+			return nil, fmt.Errorf("adjacency row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	return &feature.Graph{Name: p.Name, V: p.V, E: p.E}, nil
+}
+
+type recommendRequest struct {
+	graphPayload
+	Wa float64 `json:"wa"`
+	K  int     `json:"k"` // 0 means the advisor's trained default
+}
+
+type neighborInfo struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+}
+
+type recommendResponse struct {
+	Model     int            `json:"model"`
+	ModelName string         `json:"model_name,omitempty"`
+	Scores    []float64      `json:"scores"`
+	Neighbors []neighborInfo `json:"neighbors"`
+	Wa        float64        `json:"wa"`
+	K         int            `json:"k"`
+}
+
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if req.Wa < 0 || req.Wa > 1 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("wa %g outside [0,1]", req.Wa))
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k %d is negative", req.K))
+		return
+	}
+	// One snapshot for both the recommendation and the neighbor names, so
+	// the indexes resolve consistently even mid-/adapt.
+	snap := s.adv.Serving()
+	g := graphFor(w, &req.graphPayload, snap.InDim())
+	if g == nil {
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = snap.K()
+	}
+	rec := snap.RecommendK(g, req.Wa, k)
+	resp := recommendResponse{Model: rec.Model, Scores: rec.Scores, Wa: req.Wa, K: k}
+	if rec.Model >= 0 && rec.Model < len(testbed.ModelNames) {
+		resp.ModelName = testbed.ModelNames[rec.Model]
+	}
+	for _, ni := range rec.Neighbors {
+		resp.Neighbors = append(resp.Neighbors, neighborInfo{Index: ni, Name: snap.RCS()[ni].Name})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type driftResponse struct {
+	Drift     bool    `json:"drift"`
+	Distance  float64 `json:"distance"`
+	Threshold float64 `json:"threshold"`
+}
+
+func (s *server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	var req graphPayload
+	if !decodePost(w, r, &req) {
+		return
+	}
+	snap := s.adv.Serving()
+	g := graphFor(w, &req, snap.InDim())
+	if g == nil {
+		return
+	}
+	dist := snap.NearestDistance(g)
+	writeJSON(w, http.StatusOK, driftResponse{
+		Drift:     dist > snap.DriftThreshold(),
+		Distance:  dist,
+		Threshold: snap.DriftThreshold(),
+	})
+}
+
+type adaptRequest struct {
+	graphPayload
+	Sa     []float64 `json:"sa"`
+	Se     []float64 `json:"se"`
+	Epochs int       `json:"epochs"` // 0 means 2, the drift example's budget
+}
+
+type adaptResponse struct {
+	RCSSize        int     `json:"rcs_size"`
+	DriftThreshold float64 `json:"drift_threshold"`
+}
+
+func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	var req adaptRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	snap := s.adv.Serving()
+	g := graphFor(w, &req.graphPayload, snap.InDim())
+	if g == nil {
+		return
+	}
+	dim := len(snap.RCS()[0].Sa)
+	if len(req.Sa) != dim || len(req.Se) != dim {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("labels have %d/%d scores, advisor's models need %d", len(req.Sa), len(req.Se), dim))
+		return
+	}
+	if req.Epochs < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("epochs %d is negative", req.Epochs))
+		return
+	}
+	epochs := req.Epochs
+	if epochs == 0 {
+		epochs = 2
+	}
+	name := req.Name
+	if name == "" {
+		name = "adapted"
+	}
+	s.adv.OnlineAdapt(&core.Sample{Name: name, Graph: g, Sa: req.Sa, Se: req.Se}, epochs)
+	adapted := s.adv.Serving()
+	writeJSON(w, http.StatusOK, adaptResponse{
+		RCSSize:        len(adapted.RCS()),
+		DriftThreshold: adapted.DriftThreshold(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"rcs_size": len(s.adv.RCS()),
+	})
+}
+
+// graphFor validates and converts a graph payload against the advisor's
+// expected feature dimension — a mismatched graph would otherwise blow up
+// deep inside the encoder's matrix kernels. It writes the 400 itself and
+// returns nil on failure.
+func graphFor(w http.ResponseWriter, p *graphPayload, inDim int) *feature.Graph {
+	g, err := p.toGraph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil
+	}
+	if len(g.V[0]) != inDim {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("vertex features have dimension %d, advisor's encoder expects %d", len(g.V[0]), inDim))
+		return nil
+	}
+	return g
+}
+
+// maxBodyBytes caps request bodies. The largest legitimate payload is a
+// feature graph — n×VertexDim vertices plus an n×n adjacency — which at
+// the default configuration stays under a megabyte even for datasets far
+// larger than any corpus here; 16 MiB leaves generous headroom while
+// keeping one oversized POST from ballooning the decoder.
+const maxBodyBytes = 16 << 20
+
+// decodePost enforces the POST method, the body size cap, and strict JSON
+// decoding; it writes the error response itself and reports whether the
+// handler should proceed.
+func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", int64(maxBodyBytes)))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON payload: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -5,12 +5,31 @@
 // learning with Mixup data augmentation (Section VI, Algorithm 2), and the
 // online adapting mechanism for unexpected data distributions (Section
 // V-E).
+//
+// # Serving snapshots
+//
+// A trained advisor separates its mutable training state from an immutable
+// serving view. Every mutation — Train, IncrementalLearn, OnlineAdapt —
+// ends by building a Snapshot (a frozen copy of the encoder parameters,
+// the RCS, its embeddings, and the precomputed drift threshold) and
+// publishing it with one atomic pointer swap. The read-side API
+// (Recommend, RecommendK, RecommendBatch, DetectDrift, DriftThreshold,
+// Embed, RCS, Embeddings) only ever dereferences the published snapshot,
+// so any number of goroutines can serve recommendations lock-free and
+// wait-free while a mutator retrains in the background; readers mid-flight
+// keep the snapshot they started with and never observe a half-updated
+// candidate set. Callers that need several reads against one consistent
+// view (say, resolving a Recommendation's Neighbors against the RCS that
+// produced them) should take Serving() once and use the Snapshot directly.
+//
+// Mutators themselves are serialized by an internal lock; the training
+// encoder is never shared with readers.
 package core
 
 import (
 	"fmt"
-	"math"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/feature"
 	"repro/internal/gnn"
@@ -95,65 +114,59 @@ func DefaultConfig(inDim int) Config {
 }
 
 // Advisor is a trained AutoCE instance: the encoder plus the recommendation
-// candidate set (Definition 5) with cached embeddings.
+// candidate set (Definition 5). See the package documentation for the
+// snapshot model separating its training state from the serving path.
 type Advisor struct {
 	cfg Config
+
+	// mu serializes mutators; enc, rcs, and emb are the training-side
+	// state and are only touched with mu held (or before the advisor is
+	// shared, during Train/Load).
+	mu  sync.Mutex
 	enc *gnn.Encoder
-
 	rcs []*Sample
-	emb [][]float64
+	emb [][]float64 // training-side embedding cache (cross-validation)
 
-	// driftThreshold is the 90th-percentile leave-one-out nearest
-	// distance over the RCS (Section V-E); computed lazily.
-	driftThreshold float64
-	driftValid     bool
+	// snap is the published serving snapshot; read methods Load it
+	// lock-free. Never nil once Train or Load returns.
+	snap atomic.Pointer[Snapshot]
 }
 
-// Encoder exposes the trained GIN (for ablation baselines that reuse it).
+// Serving returns the current serving snapshot: a consistent, immutable
+// view of the RCS, embeddings, encoder, and drift threshold. Successive
+// calls may return different snapshots as mutators publish; take it once
+// when several reads must agree.
+func (a *Advisor) Serving() *Snapshot { return a.snap.Load() }
+
+// publishLocked freezes the training state into a fresh snapshot and
+// swaps it in. Callers hold mu (or exclusive ownership during
+// construction) and have refreshed the embedding cache.
+func (a *Advisor) publishLocked() {
+	a.snap.Store(newSnapshot(a.cfg, a.enc, a.rcs, a.emb))
+}
+
+// Encoder exposes the training-side GIN (for ablation baselines that reuse
+// it). Unlike the serving methods it is NOT safe to use concurrently with
+// mutators; serving paths should embed through a Snapshot instead.
 func (a *Advisor) Encoder() *gnn.Encoder { return a.enc }
 
-// RCS returns the current recommendation candidate set.
-func (a *Advisor) RCS() []*Sample { return a.rcs }
+// RCS returns the currently served recommendation candidate set.
+func (a *Advisor) RCS() []*Sample { return a.Serving().RCS() }
 
-// Embeddings returns the cached RCS embeddings.
-func (a *Advisor) Embeddings() [][]float64 { return a.emb }
+// Embeddings returns the currently served RCS embeddings.
+func (a *Advisor) Embeddings() [][]float64 { return a.Serving().Embeddings() }
 
-// refreshEmbeddings re-encodes the RCS after any encoder update.
+// refreshEmbeddings re-encodes the RCS into the training-side cache after
+// any encoder update. Mutator-only; mu held.
 func (a *Advisor) refreshEmbeddings() {
 	a.emb = make([][]float64, len(a.rcs))
 	for i, s := range a.rcs {
 		a.emb[i] = a.enc.Embed(s.Graph)
 	}
-	a.driftValid = false
 }
 
-// Embed encodes an arbitrary feature graph with the trained encoder.
-func (a *Advisor) Embed(g *feature.Graph) []float64 { return a.enc.Embed(g) }
-
-// neighborIndexes returns the indexes of the k nearest RCS embeddings to x,
-// excluding any index in skip (used by cross-validation).
-func (a *Advisor) neighborIndexes(x []float64, k int, skip map[int]bool) []int {
-	type cand struct {
-		idx  int
-		dist float64
-	}
-	cands := make([]cand, 0, len(a.emb))
-	for i, e := range a.emb {
-		if skip != nil && skip[i] {
-			continue
-		}
-		cands = append(cands, cand{i, metrics.EuclideanDistance(x, e)})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].idx
-	}
-	return out
-}
+// Embed encodes an arbitrary feature graph with the served encoder.
+func (a *Advisor) Embed(g *feature.Graph) []float64 { return a.Serving().Embed(g) }
 
 // Recommendation is the advisor's output for one dataset.
 type Recommendation struct {
@@ -161,42 +174,37 @@ type Recommendation struct {
 	Model int
 	// Scores is the averaged neighbor score vector y' (Eq. 13).
 	Scores []float64
-	// Neighbors lists the RCS indexes consulted.
+	// Neighbors lists the RCS indexes consulted, nearest first. The
+	// indexes refer to the snapshot that produced the recommendation;
+	// resolve them via Serving() taken before recommending.
 	Neighbors []int
 }
 
 // Recommend runs Stage 4 for a target feature graph and accuracy weight:
 // encode, find the k nearest labeled embeddings, average their score
-// vectors under the weights, and return the top ranker.
+// vectors under the weights, and return the top ranker. Safe for any
+// number of concurrent callers.
 func (a *Advisor) Recommend(g *feature.Graph, wa float64) Recommendation {
-	return a.recommendEmbedded(a.enc.Embed(g), wa, nil)
+	return a.Serving().Recommend(g, wa)
 }
 
-// RecommendK is Recommend with an explicit neighbor count (Table IV).
+// RecommendK is Recommend with an explicit neighbor count (Table IV). The
+// count is threaded through the call — the advisor's configuration is
+// never touched — so it is safe concurrently with Recommend.
 func (a *Advisor) RecommendK(g *feature.Graph, wa float64, k int) Recommendation {
-	saved := a.cfg.K
-	a.cfg.K = k
-	defer func() { a.cfg.K = saved }()
-	return a.recommendEmbedded(a.enc.Embed(g), wa, nil)
+	return a.Serving().RecommendK(g, wa, k)
 }
 
-func (a *Advisor) recommendEmbedded(x []float64, wa float64, skip map[int]bool) Recommendation {
-	nbrs := a.neighborIndexes(x, a.cfg.K, skip)
-	if len(nbrs) == 0 {
-		return Recommendation{Model: -1}
-	}
-	dim := len(a.rcs[nbrs[0]].Sa)
-	avg := make([]float64, dim)
-	for _, ni := range nbrs {
-		sv := a.rcs[ni].Score(wa)
-		for j := range avg {
-			avg[j] += sv[j]
-		}
-	}
-	for j := range avg {
-		avg[j] /= float64(len(nbrs))
-	}
-	return Recommendation{Model: metrics.ArgMax(avg), Scores: avg, Neighbors: nbrs}
+// RecommendBatch recommends a model for every graph over one consistent
+// snapshot using a worker pool; results are in input order.
+func (a *Advisor) RecommendBatch(gs []*feature.Graph, wa float64) []Recommendation {
+	return a.Serving().RecommendBatch(gs, wa)
+}
+
+// recommendTraining is the cross-validation predictor over the
+// training-side embedding cache (mutator-only; mu held).
+func (a *Advisor) recommendTraining(x []float64, wa float64, skip map[int]bool) Recommendation {
+	return scoreNeighbors(a.rcs, nearestIndexes(a.emb, x, a.cfg.K, skip), wa)
 }
 
 // DError evaluates a recommendation against the target's own true label.
@@ -222,52 +230,27 @@ func validateSamples(samples []*Sample) error {
 }
 
 // DriftThreshold returns the online-adapting distance threshold: the 90th
-// percentile of each RCS member's leave-one-out nearest-neighbor distance.
-func (a *Advisor) DriftThreshold() float64 {
-	if a.driftValid {
-		return a.driftThreshold
-	}
-	dists := make([]float64, 0, len(a.emb))
-	for i, e := range a.emb {
-		best := math.Inf(1)
-		for j, o := range a.emb {
-			if i == j {
-				continue
-			}
-			if d := metrics.EuclideanDistance(e, o); d < best {
-				best = d
-			}
-		}
-		if !math.IsInf(best, 1) {
-			dists = append(dists, best)
-		}
-	}
-	a.driftThreshold = metrics.Percentile(dists, 90)
-	a.driftValid = true
-	return a.driftThreshold
-}
+// percentile of each RCS member's leave-one-out nearest-neighbor distance,
+// precomputed when the serving snapshot was built.
+func (a *Advisor) DriftThreshold() float64 { return a.Serving().DriftThreshold() }
 
 // DetectDrift reports whether g's embedding lies farther from the RCS than
 // the drift threshold — an unexpected data distribution (Section V-E).
-func (a *Advisor) DetectDrift(g *feature.Graph) bool {
-	x := a.enc.Embed(g)
-	best := math.Inf(1)
-	for _, e := range a.emb {
-		if d := metrics.EuclideanDistance(x, e); d < best {
-			best = d
-		}
-	}
-	return best > a.DriftThreshold()
-}
+func (a *Advisor) DetectDrift(g *feature.Graph) bool { return a.Serving().DetectDrift(g) }
 
 // OnlineAdapt handles one unexpected dataset: the freshly labeled sample
 // (obtained by online learning, i.e. a testbed run) joins the RCS and the
 // encoder is updated with a short, damped DML pass over the extended set.
+// Readers keep serving the previous snapshot until the adapted one is
+// published.
 func (a *Advisor) OnlineAdapt(s *Sample, epochs int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.rcs = append(a.rcs, s)
 	cfg := a.cfg
 	cfg.Epochs = epochs
 	cfg.LR = a.cfg.LR / 5
 	a.trainDML(a.rcs, cfg)
 	a.refreshEmbeddings()
+	a.publishLocked()
 }

@@ -20,6 +20,7 @@ func Train(samples []*Sample, cfg Config) (*Advisor, error) {
 	a.trainDML(samples, cfg)
 	a.rcs = append([]*Sample(nil), samples...)
 	a.refreshEmbeddings()
+	a.publishLocked()
 	return a, nil
 }
 
@@ -271,8 +272,11 @@ func applyDistanceGrads(embs, u, dU [][]float64, grads [][]float64) {
 
 // BatchLoss computes the current loss of the advisor's encoder on a set of
 // samples at a given weight, without updating parameters. Used by the
-// Figure 7 ablation and tests.
+// Figure 7 ablation and tests. It reads the training encoder, so it takes
+// the mutator lock.
 func (a *Advisor) BatchLoss(samples []*Sample, wa float64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	embs := make([][]float64, len(samples))
 	for i, s := range samples {
 		embs[i] = a.enc.Embed(s.Graph)

@@ -47,8 +47,11 @@ type ILReport struct {
 // current encoder over its own training data, collect poorly predicted
 // samples (D-error > b) into the feedback set, synthesize new samples by
 // Mixup with their nearest reference neighbors, and continue training on
-// the augmented data.
+// the augmented data. Readers keep serving the previous snapshot until
+// the refined one is published.
 func (a *Advisor) IncrementalLearn(cfg ILConfig) ILReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := len(a.rcs)
 	if cfg.Folds < 2 || n < cfg.Folds {
@@ -69,7 +72,7 @@ func (a *Advisor) IncrementalLearn(cfg ILConfig) ILReport {
 			}
 		}
 		for _, si := range fold {
-			rec := a.recommendEmbedded(a.emb[si], cfg.Weight, skip)
+			rec := a.recommendTraining(a.emb[si], cfg.Weight, skip)
 			if rec.Model < 0 {
 				continue
 			}
@@ -136,6 +139,7 @@ func (a *Advisor) IncrementalLearn(cfg ILConfig) ILReport {
 	ilCfg.LR = a.cfg.LR / 5
 	a.trainDML(trainingPool, ilCfg)
 	a.refreshEmbeddings()
+	a.publishLocked()
 	return report
 }
 

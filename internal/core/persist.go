@@ -28,9 +28,12 @@ type sampleState struct {
 // Save writes the trained advisor to w in gob format. A saved advisor can
 // be reloaded with Load and used for recommendation, drift detection,
 // online adapting and incremental learning — the full Stage 3/4 surface.
+// Save reads the current serving snapshot, so it is safe concurrently with
+// both readers and mutators and always writes a consistent state.
 func (a *Advisor) Save(w io.Writer) error {
-	st := advisorState{Cfg: a.cfg, Encoder: a.enc.State()}
-	for _, s := range a.rcs {
+	snap := a.Serving()
+	st := advisorState{Cfg: a.cfg, Encoder: snap.enc.State()}
+	for _, s := range snap.rcs {
 		st.Samples = append(st.Samples, sampleState{
 			Name: s.Name, Graph: s.Graph, Sa: s.Sa, Se: s.Se,
 		})
@@ -73,6 +76,7 @@ func Load(r io.Reader) (*Advisor, error) {
 		return nil, fmt.Errorf("core: loaded advisor has an empty candidate set")
 	}
 	a.refreshEmbeddings()
+	a.publishLocked()
 	return a, nil
 }
 

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/feature"
+	"repro/internal/gnn"
+)
+
+// benchSnapshot fabricates a serving snapshot with an n-sample RCS:
+// random unit-scale embeddings and 7-model score labels over a real (but
+// tiny) encoder, so Recommend exercises the full serve path — pooled
+// GIN inference plus heap k-selection — without labeling n datasets.
+func benchSnapshot(n int) (*Snapshot, *feature.Graph) {
+	rng := rand.New(rand.NewSource(77))
+	gcfg := gnn.Config{InDim: 6, Hidden: 16, OutDim: 32, Layers: 2, Seed: 3}
+	enc := gnn.New(gcfg)
+	g := &feature.Graph{Name: "target"}
+	for i := 0; i < 3; i++ {
+		row := make([]float64, gcfg.InDim)
+		for f := range row {
+			row[f] = rng.NormFloat64()
+		}
+		g.V = append(g.V, row)
+		g.E = append(g.E, make([]float64, 3))
+	}
+	g.E[0][1], g.E[1][0] = 0.5, 0.5
+	s := &Snapshot{k: 2, enc: enc, rcs: make([]*Sample, n), emb: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		emb := make([]float64, gcfg.OutDim)
+		for f := range emb {
+			emb[f] = rng.NormFloat64()
+		}
+		sa := make([]float64, 7)
+		se := make([]float64, 7)
+		for m := range sa {
+			sa[m], se[m] = rng.Float64(), rng.Float64()
+		}
+		s.rcs[i] = &Sample{Name: fmt.Sprintf("s%d", i), Graph: g, Sa: sa, Se: se}
+		s.emb[i] = emb
+	}
+	s.driftThreshold = 1
+	return s, g
+}
+
+// BenchmarkRecommend measures one full serving-path recommendation (GIN
+// embed + heap kNN + scoring) against a 1000-sample RCS.
+func BenchmarkRecommend(b *testing.B) {
+	s, g := benchSnapshot(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Recommend(g, 0.9).Model < 0 {
+			b.Fatal("no recommendation")
+		}
+	}
+}
+
+// BenchmarkRecommendBatch measures a 64-graph batch through the worker
+// pool against a 1000-sample RCS.
+func BenchmarkRecommendBatch(b *testing.B) {
+	s, g := benchSnapshot(1000)
+	gs := make([]*feature.Graph, 64)
+	for i := range gs {
+		gs[i] = g
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs := s.RecommendBatch(gs, 0.9); recs[0].Model < 0 {
+			b.Fatal("no recommendation")
+		}
+	}
+}
+
+// BenchmarkRecommendSelectHeap and BenchmarkRecommendSelectSort isolate
+// the k-selection over 1000 embeddings: the bounded max-heap versus the
+// pre-snapshot full sort.
+func BenchmarkRecommendSelectHeap(b *testing.B) {
+	s, _ := benchSnapshot(1000)
+	x := s.emb[500]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(nearestIndexes(s.emb, x, 2, nil)) != 2 {
+			b.Fatal("bad selection")
+		}
+	}
+}
+
+func BenchmarkRecommendSelectSort(b *testing.B) {
+	s, _ := benchSnapshot(1000)
+	x := s.emb[500]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(nearestIndexesSort(s.emb, x, 2, nil)) != 2 {
+			b.Fatal("bad selection")
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/feature"
+)
+
+// randomEmbeddings builds n dim-dimensional embeddings, with every fourth
+// one duplicated from its predecessor so tie-breaking is exercised.
+func randomEmbeddings(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	emb := make([][]float64, n)
+	for i := range emb {
+		if i > 0 && i%4 == 0 {
+			emb[i] = append([]float64(nil), emb[i-1]...)
+			continue
+		}
+		emb[i] = make([]float64, dim)
+		for f := range emb[i] {
+			emb[i][f] = rng.NormFloat64()
+		}
+	}
+	return emb
+}
+
+func TestNearestIndexesMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		dim := 1 + rng.Intn(6)
+		emb := randomEmbeddings(n, dim, int64(trial))
+		x := make([]float64, dim)
+		for f := range x {
+			x[f] = rng.NormFloat64()
+		}
+		var skip map[int]bool
+		if trial%3 == 0 {
+			skip = map[int]bool{rng.Intn(n): true}
+		}
+		for _, k := range []int{0, 1, 2, 5, n, n + 3} {
+			heap := nearestIndexes(emb, x, k, skip)
+			ref := nearestIndexesSort(emb, x, k, skip)
+			if !reflect.DeepEqual(heap, ref) {
+				t.Fatalf("trial %d n=%d k=%d: heap %v != sort %v", trial, n, k, heap, ref)
+			}
+		}
+	}
+}
+
+func TestNearestIndexesDeterministicTies(t *testing.T) {
+	// Five identical embeddings: every distance ties, so selection must
+	// fall back to RCS-index order, identically on every call.
+	emb := make([][]float64, 5)
+	for i := range emb {
+		emb[i] = []float64{1, 2, 3}
+	}
+	x := []float64{0, 0, 0}
+	for trial := 0; trial < 10; trial++ {
+		got := nearestIndexes(emb, x, 3, nil)
+		if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+			t.Fatalf("tied selection returned %v, want [0 1 2]", got)
+		}
+	}
+	// Skipping the first tied candidates shifts the selection, still in
+	// index order.
+	got := nearestIndexes(emb, x, 3, map[int]bool{0: true, 2: true})
+	if !reflect.DeepEqual(got, []int{1, 3, 4}) {
+		t.Fatalf("tied selection with skip returned %v, want [1 3 4]", got)
+	}
+}
+
+func TestRecommendDeterministicWithDuplicatedEmbeddings(t *testing.T) {
+	// An advisor whose RCS contains the same graph twice produces two
+	// identical embeddings; repeated recommendations must consult the
+	// same neighbors every time.
+	samples := corpus(t, 12, 41)
+	dup := *samples[3]
+	dup.Name = samples[3].Name + "-dup"
+	samples = append(samples, &dup)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := adv.RecommendK(samples[3].Graph, 0.9, 4)
+	for trial := 0; trial < 20; trial++ {
+		rec := adv.RecommendK(samples[3].Graph, 0.9, 4)
+		if !reflect.DeepEqual(rec.Neighbors, first.Neighbors) {
+			t.Fatalf("trial %d: neighbors %v, want %v", trial, rec.Neighbors, first.Neighbors)
+		}
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	samples := corpus(t, 16, 42)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := adv.Serving()
+	n0 := len(before.RCS())
+	thr0 := before.DriftThreshold()
+	rec0 := before.Recommend(samples[0].Graph, 0.9)
+
+	extra := corpus(t, 1, 43)[0]
+	adv.OnlineAdapt(extra, 1)
+
+	// The captured snapshot is frozen: same RCS, threshold, and
+	// recommendation as before the mutation.
+	if len(before.RCS()) != n0 || before.DriftThreshold() != thr0 {
+		t.Fatal("captured snapshot changed under OnlineAdapt")
+	}
+	rec1 := before.Recommend(samples[0].Graph, 0.9)
+	if !reflect.DeepEqual(rec0, rec1) {
+		t.Fatalf("captured snapshot recommendation changed: %v -> %v", rec0, rec1)
+	}
+	// The advisor serves a new snapshot with the adapted RCS.
+	after := adv.Serving()
+	if after == before {
+		t.Fatal("OnlineAdapt did not publish a new snapshot")
+	}
+	if len(after.RCS()) != n0+1 {
+		t.Fatalf("new snapshot RCS has %d samples, want %d", len(after.RCS()), n0+1)
+	}
+}
+
+// TestConcurrentServingUnderMutation hammers the read API from many
+// goroutines while OnlineAdapt and IncrementalLearn retrain the advisor.
+// Run with -race this is the core regression test for the serving path:
+// readers must never observe a half-updated RCS — every recommendation's
+// neighbor indexes resolve against the snapshot that produced it.
+func TestConcurrentServingUnderMutation(t *testing.T) {
+	samples := corpus(t, 16, 44)
+	cfg := testConfig()
+	cfg.Epochs = 4
+	adv, err := Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelDim := len(samples[0].Sa)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := samples[w].Graph
+			for i := 0; !stop.Load(); i++ {
+				s := adv.Serving()
+				rec := s.Recommend(g, 0.9)
+				if rec.Model < 0 || rec.Model >= labelDim {
+					errs <- "model index out of range"
+					return
+				}
+				if len(rec.Scores) != labelDim {
+					errs <- "score vector has wrong length"
+					return
+				}
+				for _, ni := range rec.Neighbors {
+					if ni < 0 || ni >= len(s.RCS()) {
+						errs <- "neighbor index beyond snapshot RCS"
+						return
+					}
+				}
+				if i%7 == 0 {
+					if k := len(s.RecommendK(g, 0.9, 5).Neighbors); k != 5 {
+						errs <- "RecommendK returned wrong neighbor count"
+						return
+					}
+					adv.DetectDrift(g)
+				}
+				if i%13 == 0 {
+					batch := adv.RecommendBatch([]*feature.Graph{g, samples[0].Graph}, 0.5)
+					if len(batch) != 2 || batch[0].Model < 0 {
+						errs <- "RecommendBatch returned bad result"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Mutators: two online adaptations and one incremental pass.
+	for i := 0; i < 2; i++ {
+		extra := corpus(t, 1, int64(50+i))[0]
+		adv.OnlineAdapt(extra, 1)
+	}
+	il := DefaultILConfig()
+	il.Epochs = 1
+	adv.IncrementalLearn(il)
+
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if len(adv.RCS()) != len(samples)+2 {
+		t.Fatalf("final RCS size %d, want %d", len(adv.RCS()), len(samples)+2)
+	}
+}
+
+func TestRecommendKConcurrentWithRecommend(t *testing.T) {
+	// RecommendK must not leak its neighbor count into concurrent
+	// Recommend calls (the pre-snapshot advisor mutated cfg.K).
+	samples := corpus(t, 14, 45)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := testConfig().K
+	var wg sync.WaitGroup
+	bad := make(chan int, 32)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if w%2 == 0 {
+					if got := len(adv.RecommendK(samples[0].Graph, 0.9, 5).Neighbors); got != 5 {
+						bad <- got
+						return
+					}
+				} else {
+					if got := len(adv.Recommend(samples[1].Graph, 0.9).Neighbors); got != wantK {
+						bad <- got
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(bad)
+	for got := range bad {
+		t.Fatalf("observed %d neighbors (default k %d)", got, wantK)
+	}
+}
+
+func TestRecommendBatchMatchesSerial(t *testing.T) {
+	samples := corpus(t, 18, 46)
+	adv, err := Train(samples, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := make([]*feature.Graph, len(samples))
+	for i, s := range samples {
+		gs[i] = s.Graph
+	}
+	batch := adv.RecommendBatch(gs, 0.8)
+	for i, g := range gs {
+		serial := adv.Recommend(g, 0.8)
+		if !reflect.DeepEqual(batch[i], serial) {
+			t.Fatalf("graph %d: batch %v != serial %v", i, batch[i], serial)
+		}
+	}
+	if got := adv.RecommendBatch(nil, 0.8); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

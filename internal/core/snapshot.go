@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/feature"
+	"repro/internal/gnn"
+	"repro/internal/metrics"
+)
+
+// Snapshot is an immutable serving view of a trained advisor: a frozen
+// copy of the encoder parameters, the recommendation candidate set, its
+// embeddings, and the precomputed drift threshold. Every field is fixed at
+// construction, so any number of goroutines can call the read methods
+// without synchronization while the owning advisor keeps training. The
+// slices returned by accessors are the snapshot's own — callers must not
+// mutate them.
+type Snapshot struct {
+	k   int
+	enc *gnn.Encoder
+	rcs []*Sample
+	emb [][]float64
+
+	// driftThreshold is the 90th-percentile leave-one-out nearest
+	// distance over the RCS (Section V-E), precomputed so drift reads
+	// are pure.
+	driftThreshold float64
+}
+
+// newSnapshot freezes the current training state into a serving view. The
+// encoder is deep-copied through its serialized state so subsequent
+// training never mutates parameters a reader is using. emb is the
+// caller's freshly refreshed embedding cache (the frozen copy is an exact
+// parameter roundtrip, so re-embedding would reproduce it bit-for-bit);
+// the rows are deep-copied into the snapshot, and recomputed with the
+// frozen encoder only if the cache does not cover the RCS.
+func newSnapshot(cfg Config, enc *gnn.Encoder, rcs []*Sample, emb [][]float64) *Snapshot {
+	frozen, err := gnn.FromState(enc.State())
+	if err != nil {
+		// State() of a live encoder always matches its own architecture.
+		panic("core: snapshotting encoder: " + err.Error())
+	}
+	s := &Snapshot{
+		k:   cfg.K,
+		enc: frozen,
+		rcs: append([]*Sample(nil), rcs...),
+		emb: make([][]float64, len(rcs)),
+	}
+	for i, smp := range s.rcs {
+		if i < len(emb) && emb[i] != nil {
+			s.emb[i] = append([]float64(nil), emb[i]...)
+		} else {
+			s.emb[i] = frozen.Embed(smp.Graph)
+		}
+	}
+	s.driftThreshold = driftThresholdOf(s.emb)
+	return s
+}
+
+// K returns the snapshot's default neighbor count.
+func (s *Snapshot) K() int { return s.k }
+
+// InDim returns the per-vertex feature length the encoder expects; graphs
+// with a different dimension cannot be embedded.
+func (s *Snapshot) InDim() int { return s.enc.InDim() }
+
+// RCS returns the snapshot's recommendation candidate set.
+func (s *Snapshot) RCS() []*Sample { return s.rcs }
+
+// Embeddings returns the snapshot's RCS embeddings.
+func (s *Snapshot) Embeddings() [][]float64 { return s.emb }
+
+// DriftThreshold returns the precomputed online-adapting distance
+// threshold.
+func (s *Snapshot) DriftThreshold() float64 { return s.driftThreshold }
+
+// Embed encodes a feature graph with the snapshot's frozen encoder.
+func (s *Snapshot) Embed(g *feature.Graph) []float64 { return s.enc.Embed(g) }
+
+// Recommend runs Stage 4 for a target feature graph and accuracy weight:
+// encode, find the k nearest labeled embeddings, average their score
+// vectors under the weights, and return the top ranker (Eq. 13).
+func (s *Snapshot) Recommend(g *feature.Graph, wa float64) Recommendation {
+	return s.RecommendK(g, wa, s.k)
+}
+
+// RecommendK is Recommend with an explicit neighbor count (Table IV).
+func (s *Snapshot) RecommendK(g *feature.Graph, wa float64, k int) Recommendation {
+	return s.recommendEmbedded(s.enc.Embed(g), wa, k, nil)
+}
+
+func (s *Snapshot) recommendEmbedded(x []float64, wa float64, k int, skip map[int]bool) Recommendation {
+	return scoreNeighbors(s.rcs, nearestIndexes(s.emb, x, k, skip), wa)
+}
+
+// RecommendBatch recommends a model for every graph against this one
+// snapshot — the whole batch sees a single consistent RCS even while
+// mutators publish new snapshots. Graphs are distributed over
+// runtime.NumCPU() workers, mirroring engine.CardinalityBatch; results are
+// returned in input order.
+func (s *Snapshot) RecommendBatch(gs []*feature.Graph, wa float64) []Recommendation {
+	out := make([]Recommendation, len(gs))
+	if len(gs) == 0 {
+		return out
+	}
+	workers := runtime.NumCPU()
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	if workers <= 1 {
+		for i, g := range gs {
+			out[i] = s.Recommend(g, wa)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(gs) {
+					return
+				}
+				out[i] = s.Recommend(gs[i], wa)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// NearestDistance returns the distance from g's embedding to its nearest
+// RCS member.
+func (s *Snapshot) NearestDistance(g *feature.Graph) float64 {
+	x := s.enc.Embed(g)
+	best := math.Inf(1)
+	for _, e := range s.emb {
+		if d := metrics.EuclideanDistance(x, e); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DetectDrift reports whether g's embedding lies farther from the RCS than
+// the drift threshold — an unexpected data distribution (Section V-E).
+func (s *Snapshot) DetectDrift(g *feature.Graph) bool {
+	return s.NearestDistance(g) > s.driftThreshold
+}
+
+// neighbor is one kNN candidate during selection.
+type neighbor struct {
+	idx  int
+	dist float64
+}
+
+// ranksBefore reports whether a precedes b in nearest-first order. The
+// order is total — equal distances break toward the smaller RCS index —
+// so selection over duplicated embeddings is deterministic.
+func ranksBefore(a, b neighbor) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.idx < b.idx
+}
+
+// siftUp and siftDown maintain a max-heap under ranksBefore: the root is
+// the worst candidate currently kept, the one a closer candidate evicts.
+func siftUp(h []neighbor, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !ranksBefore(h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []neighbor, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && ranksBefore(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && ranksBefore(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// nearestIndexes returns the indexes of the k nearest embeddings to x in
+// nearest-first order, excluding any index in skip (used by
+// cross-validation). Selection runs over a bounded max-heap of size k —
+// O(n log k) with a k-element footprint instead of sorting all n
+// candidates — and ties break by RCS index (see ranksBefore).
+func nearestIndexes(emb [][]float64, x []float64, k int, skip map[int]bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(emb) {
+		k = len(emb)
+	}
+	h := make([]neighbor, 0, k)
+	for i, e := range emb {
+		if skip != nil && skip[i] {
+			continue
+		}
+		c := neighbor{i, metrics.EuclideanDistance(x, e)}
+		if len(h) < k {
+			h = append(h, c)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if ranksBefore(c, h[0]) {
+			h[0] = c
+			siftDown(h, 0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return ranksBefore(h[a], h[b]) })
+	out := make([]int, len(h))
+	for i, c := range h {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// nearestIndexesSort is the full-sort reference selection, kept for the
+// differential test and the heap-vs-sort benchmark comparison. It applies
+// the same deterministic tie-break as nearestIndexes.
+func nearestIndexesSort(emb [][]float64, x []float64, k int, skip map[int]bool) []int {
+	if k <= 0 {
+		return nil
+	}
+	cands := make([]neighbor, 0, len(emb))
+	for i, e := range emb {
+		if skip != nil && skip[i] {
+			continue
+		}
+		cands = append(cands, neighbor{i, metrics.EuclideanDistance(x, e)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return ranksBefore(cands[a], cands[b]) })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// scoreNeighbors averages the selected neighbors' score vectors under the
+// accuracy weight and picks the top ranker (Eq. 13).
+func scoreNeighbors(rcs []*Sample, nbrs []int, wa float64) Recommendation {
+	if len(nbrs) == 0 {
+		return Recommendation{Model: -1}
+	}
+	dim := len(rcs[nbrs[0]].Sa)
+	avg := make([]float64, dim)
+	for _, ni := range nbrs {
+		sv := rcs[ni].Score(wa)
+		for j := range avg {
+			avg[j] += sv[j]
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(nbrs))
+	}
+	return Recommendation{Model: metrics.ArgMax(avg), Scores: avg, Neighbors: nbrs}
+}
+
+// driftThresholdOf computes the 90th percentile of each embedding's
+// leave-one-out nearest-neighbor distance.
+func driftThresholdOf(emb [][]float64) float64 {
+	dists := make([]float64, 0, len(emb))
+	for i, e := range emb {
+		best := math.Inf(1)
+		for j, o := range emb {
+			if i == j {
+				continue
+			}
+			if d := metrics.EuclideanDistance(e, o); d < best {
+				best = d
+			}
+		}
+		if !math.IsInf(best, 1) {
+			dists = append(dists, best)
+		}
+	}
+	return metrics.Percentile(dists, 90)
+}

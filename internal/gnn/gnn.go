@@ -53,11 +53,22 @@ type Encoder struct {
 	// are refreshed from the graph before each replay, so callers that
 	// mutate a graph in place still see current values. Only the training
 	// loop (TapeFor) populates the cache — its lifetime is bounded by the
-	// RCS the advisor pins anyway; inference (Embed) stays on the
-	// transient dynamic path so arbitrary one-shot graphs are never
-	// retained.
+	// RCS the advisor pins anyway; inference (Embed) never touches it, so
+	// arbitrary one-shot graphs are never retained.
 	mu    sync.Mutex
 	tapes map[*feature.Graph]*Tape
+
+	// inferPools maps vertex count -> *sync.Pool of inference tapes for
+	// Embed. A tape's replay buffers are private to whichever goroutine
+	// checked it out, so any number of goroutines can embed concurrently
+	// as long as the parameters themselves are not being trained at the
+	// same time (the advisor's serving snapshots guarantee that by
+	// freezing a parameter copy). Vertex count is the only shape degree
+	// of freedom — the feature dimension is fixed by the architecture —
+	// and a sync.Map keeps the warm path free of shared locks: lookups
+	// hit the map's read-only fast path, and sync.Pool.Get itself works
+	// from per-P caches.
+	inferPools sync.Map
 }
 
 // Tape couples a recorded tape with the input leaves it reads from.
@@ -115,6 +126,9 @@ func (e *Encoder) Params() []*nn.Tensor {
 	return out
 }
 
+// InDim returns the expected per-vertex feature length.
+func (e *Encoder) InDim() int { return e.cfg.InDim }
+
 // OutDim returns the embedding length.
 func (e *Encoder) OutDim() int { return e.cfg.OutDim }
 
@@ -156,7 +170,8 @@ func (e *Encoder) buildTape(g *feature.Graph) *Tape {
 //
 // Only the map lookup is synchronized: replaying a tape mutates its
 // recorded buffers, so concurrent replays of the same graph must be
-// serialized by the caller (the DML loop is single-goroutine; Embed locks).
+// serialized by the caller (the DML loop is single-goroutine; Embed uses
+// its own pooled tapes and never touches this cache).
 func (e *Encoder) TapeFor(g *feature.Graph) *Tape {
 	e.mu.Lock()
 	gt, ok := e.tapes[g]
@@ -168,12 +183,56 @@ func (e *Encoder) TapeFor(g *feature.Graph) *Tape {
 	return gt
 }
 
+// inferTape is a pooled inference replay: blank input leaves plus a tape
+// recorded over them. Unlike the training tapes it is not bound to a
+// graph; Embed copies any same-shape graph into the leaves before replay.
+type inferTape struct {
+	x, adj *nn.Tensor
+	tape   *nn.Tape
+}
+
+// inferPool returns (building on first use) the pool of inference tapes
+// for graphs with n vertices.
+func (e *Encoder) inferPool(n int) *sync.Pool {
+	if p, ok := e.inferPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := e.inferPools.LoadOrStore(n, &sync.Pool{New: func() any {
+		x := nn.Zeros(n, e.cfg.InDim)
+		adj := nn.Zeros(n, n)
+		h := x
+		for _, l := range e.layers {
+			agg := nn.Add(nn.ScaleByScalar(h, l.onePlusEps), nn.MatMul(adj, h))
+			h = l.mlp.Forward(agg)
+		}
+		return &inferTape{x: x, adj: adj, tape: nn.NewTape(nn.SumRows(h))}
+	}})
+	return p.(*sync.Pool)
+}
+
 // Embed encodes a feature graph and returns the embedding as a plain
-// vector (no gradient bookkeeping needed by callers). It runs the
-// transient dynamic path: recommendation targets are one-shot graphs, so
-// caching a tape for them would grow the encoder without bound.
+// vector (no gradient bookkeeping needed by callers). It replays a pooled
+// per-shape inference tape — each call owns its tape's buffers for the
+// duration, so concurrent Embed calls never share mutable state and
+// steady-state inference rebuilds no autodiff graph. Graphs whose feature
+// dimension does not match the architecture (only constructed by tests)
+// fall back to the transient dynamic path.
 func (e *Encoder) Embed(g *feature.Graph) []float64 {
-	return e.Forward(g).Row(0)
+	n := g.NumVertices()
+	if n == 0 || len(g.V[0]) != e.cfg.InDim {
+		return e.Forward(g).Row(0)
+	}
+	pool := e.inferPool(n)
+	it := pool.Get().(*inferTape)
+	for i, row := range g.V {
+		copy(it.x.V[i*it.x.C:(i+1)*it.x.C], row)
+	}
+	for i, row := range g.E {
+		copy(it.adj.V[i*it.adj.C:(i+1)*it.adj.C], row)
+	}
+	out := it.tape.Forward().Row(0) // Row copies, so the tape can be reused
+	pool.Put(it)
+	return out
 }
 
 // EmbedAll encodes a slice of graphs.

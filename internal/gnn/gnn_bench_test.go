@@ -7,6 +7,8 @@ import (
 	"repro/internal/nn"
 )
 
+// BenchmarkGINEncoderForward measures inference on the pooled per-shape
+// tape path Embed runs on (the advisor's serving hot path).
 func BenchmarkGINEncoderForward(b *testing.B) {
 	cfg := DefaultConfig(162) // feature.DefaultConfig().VertexDim()
 	enc := New(cfg)
@@ -16,6 +18,20 @@ func BenchmarkGINEncoderForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		enc.Embed(g)
+	}
+}
+
+// BenchmarkGINEncoderForwardDynamic is the same encode on the transient
+// dynamic-graph path, for comparison with the pooled replay above.
+func BenchmarkGINEncoderForwardDynamic(b *testing.B) {
+	cfg := DefaultConfig(162)
+	enc := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 5, 162)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Forward(g).Row(0)
 	}
 }
 
