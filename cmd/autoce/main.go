@@ -34,6 +34,7 @@ func main() {
 	fast := flag.Bool("fast", true, "use the reduced training budget for the CE models")
 	saveTo := flag.String("save", "", "after training, save the advisor to this file (gob)")
 	loadFrom := flag.String("load", "", "skip training and load a saved advisor from this file")
+	sampleRows := flag.Int("sample-rows", 0, "estimate the target's features from a reservoir sample of this many rows per table plus KMV distinct sketches (0 = exact; use for very large unbinned user datasets)")
 	flag.Parse()
 
 	sc := experiments.QuickScale()
@@ -117,7 +118,12 @@ func main() {
 		}
 	}
 
-	g, err := feature.Extract(td, featCfg)
+	// The corpus is always extracted exactly; sampled mode only bounds
+	// the cost of featurizing a large user-provided target.
+	targetCfg := featCfg
+	targetCfg.SampleRows = *sampleRows
+	targetCfg.SampleSeed = *seed
+	g, err := feature.Extract(td, targetCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

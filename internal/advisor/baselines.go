@@ -132,8 +132,9 @@ func (s *Sampling) Select(t Target, wa float64) int {
 	sampled := SampleDataset(t.Dataset, s.Fraction, s.Cfg.Seed)
 	res, err := testbed.Run(sampled, s.Cfg)
 	// The sampled dataset is discarded after the run; drop its cached
-	// join index so the cache entry does not pin it in memory.
+	// join index and stats so the cache entries do not pin it in memory.
 	engine.InvalidateIndex(sampled)
+	dataset.InvalidateStats(sampled)
 	if err != nil {
 		return -1
 	}

@@ -9,6 +9,20 @@
 // from a bounded integer domain. Real-valued data can always be binned into
 // this representation, and keeping a single value type keeps the execution
 // engine and the estimators simple and fast.
+//
+// Statistics come in two layers. The naive per-call functions
+// (ColumnStats, EqualFraction, JoinCorrelation) define the semantics and
+// serve as reference oracles. The fused engine (summary.go) is the fast
+// path: NewSummary computes one table's complete block — every column's
+// moments, min/max, and distinct count, plus the full pairwise
+// equal-fraction matrix — in a handful of cache-friendly sweeps with
+// reused scratch, and Stats derives every FK edge's join correlation from
+// one distinct-value set per endpoint column. StatsFor caches one
+// exact-mode Stats per dataset (mirroring engine.IndexFor); code that
+// mutates a dataset in place, or builds transient datasets, must call
+// InvalidateStats just as it calls engine.InvalidateIndex. SummaryOpts
+// gates a sampled mode (reservoir row sample + KMV distinct sketches)
+// that bounds extraction cost on user-scale tables.
 package dataset
 
 import (
@@ -120,8 +134,12 @@ func (t *Table) NonKeyCols() []int {
 	return out
 }
 
-// Validate reports an error when the table's columns have unequal lengths.
+// Validate reports an error when the table's columns have unequal lengths
+// or PKCol is outside [-1, NumCols).
 func (t *Table) Validate() error {
+	if t.PKCol < -1 || t.PKCol >= len(t.Cols) {
+		return fmt.Errorf("table %s: PKCol %d out of range", t.Name, t.PKCol)
+	}
 	if len(t.Cols) == 0 {
 		return nil
 	}
@@ -130,9 +148,6 @@ func (t *Table) Validate() error {
 		if c.Len() != n {
 			return fmt.Errorf("table %s: column %s has %d rows, want %d", t.Name, c.Name, c.Len(), n)
 		}
-	}
-	if t.PKCol >= len(t.Cols) {
-		return fmt.Errorf("table %s: PKCol %d out of range", t.Name, t.PKCol)
 	}
 	return nil
 }
@@ -177,15 +192,11 @@ func (d *Dataset) TotalColumns() int {
 }
 
 // TotalDomainSize returns the sum of distinct-value counts over all columns,
-// the "total domain size" statistic reported in the paper's Table I.
+// the "total domain size" statistic reported in the paper's Table I. It
+// reads through the dataset's cached Stats; callers that mutate the data
+// in place must InvalidateStats (stale summaries are never detected).
 func (d *Dataset) TotalDomainSize() int {
-	n := 0
-	for _, t := range d.Tables {
-		for _, c := range t.Cols {
-			n += c.DistinctCount()
-		}
-	}
-	return n
+	return StatsFor(d).TotalDomainSize()
 }
 
 // MaxColumns returns the maximum column count over all tables; feature-graph

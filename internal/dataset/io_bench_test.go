@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// benchCSV renders an ncols×rows integer table as CSV bytes once; the
+// ingest benchmark then re-reads it from memory so only parsing cost is
+// measured.
+func benchCSV(ncols, rows int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	for c := 0; c < ncols; c++ {
+		if c > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("col" + strconv.Itoa(c))
+	}
+	buf.WriteByte('\n')
+	for r := 0; r < rows; r++ {
+		for c := 0; c < ncols; c++ {
+			if c > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(strconv.FormatInt(int64(rng.Intn(1_000_000)), 10))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkReadCSV measures ingest of an 8-column, 100k-row table.
+func BenchmarkReadCSV(b *testing.B) {
+	data := benchCSV(8, 100_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := ReadCSV("bench", bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.Rows() != 100_000 {
+			b.Fatalf("rows = %d", t.Rows())
+		}
+	}
+}

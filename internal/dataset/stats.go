@@ -2,10 +2,10 @@ package dataset
 
 import "math"
 
-// Stats bundles the per-column moments and distribution features that
+// ColStats bundles the per-column moments and distribution features that
 // AutoCE's feature engineering extracts (Section V-A): skewness, kurtosis,
 // standard and mean deviation, range, and domain size.
-type Stats struct {
+type ColStats struct {
 	Count      int
 	Mean       float64
 	Std        float64 // population standard deviation
@@ -17,56 +17,17 @@ type Stats struct {
 	DomainSize int // number of distinct values
 }
 
-// ColumnStats computes Stats for a column in a single pass over the data
-// (two passes: one for the mean, one for the central moments).
-func ColumnStats(c *Column) Stats {
-	n := len(c.Data)
-	if n == 0 {
-		return Stats{}
-	}
-	var sum float64
-	lo, hi := c.Data[0], c.Data[0]
-	seen := make(map[int64]struct{}, n)
-	for _, v := range c.Data {
-		sum += float64(v)
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-		seen[v] = struct{}{}
-	}
-	mean := sum / float64(n)
-	var m2, m3, m4, mad float64
-	for _, v := range c.Data {
-		d := float64(v) - mean
-		d2 := d * d
-		m2 += d2
-		m3 += d2 * d
-		m4 += d2 * d2
-		mad += math.Abs(d)
-	}
-	m2 /= float64(n)
-	m3 /= float64(n)
-	m4 /= float64(n)
-	mad /= float64(n)
-
-	st := Stats{
-		Count:      n,
-		Mean:       mean,
-		Std:        math.Sqrt(m2),
-		MeanDev:    mad,
-		Min:        lo,
-		Max:        hi,
-		Range:      float64(hi - lo),
-		DomainSize: len(seen),
-	}
-	if m2 > 0 {
-		st.Skewness = m3 / math.Pow(m2, 1.5)
-		st.Kurtosis = m4/(m2*m2) - 3
-	}
-	return st
+// ColumnStats computes ColStats for one column. It routes through the
+// same statistics kernel as the fused Summary sweep (summary.go), so the
+// per-call API and the summaries are bit-identical by construction; the
+// kernel's two paths (single-pass histogram for bounded integer domains,
+// classic two-pass moments for wide spans) are mathematically exact
+// reorderings of the textbook formulas — the seed's ordered two-pass
+// reference lives on in the differential tests.
+func ColumnStats(c *Column) ColStats {
+	sc := scratchPool.Get().(*summaryScratch)
+	defer scratchPool.Put(sc)
+	return sc.colStatsKernel(c.Data, nil)
 }
 
 // EqualFraction returns the fraction of positions where a and b hold the
@@ -142,14 +103,10 @@ func JoinCorrelation(fk, pk *Column) float64 {
 	return float64(inter) / float64(len(pkSet))
 }
 
-// MeasuredFKCorrelations recomputes the join correlation of every FK edge
-// from the actual column data and returns one value per FK, in order.
+// MeasuredFKCorrelations returns the measured join correlation of every
+// FK edge, one value per FK in order, through the dataset's cached Stats
+// (each endpoint column's distinct set is built once and shared by all
+// incident edges). Callers that mutate d afterwards must InvalidateStats.
 func MeasuredFKCorrelations(d *Dataset) []float64 {
-	out := make([]float64, len(d.FKs))
-	for i, fk := range d.FKs {
-		from := d.Tables[fk.FromTable].Col(fk.FromCol)
-		to := d.Tables[fk.ToTable].Col(fk.ToCol)
-		out[i] = JoinCorrelation(from, to)
-	}
-	return out
+	return append([]float64(nil), StatsFor(d).FKCorrelations()...)
 }

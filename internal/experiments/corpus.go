@@ -157,6 +157,19 @@ func firstError(errs []error) error {
 func LabelDatasets(ds []*dataset.Dataset, sc Scale, featCfg feature.Config, seedBase int64) ([]*LabeledDataset, error) {
 	workers := maxInt(1, sc.Workers)
 
+	// Phase 0: feature graphs, with per-table summary builds fanned over
+	// the worker pool. Extraction populates the shared stats cache; the
+	// corpus datasets are transient at this scale, so each cache entry is
+	// dropped as soon as its graph is in hand (mirroring the join-index
+	// invalidation below).
+	graphs, err := feature.ExtractBatch(ds, featCfg, workers)
+	if err != nil {
+		return nil, fmt.Errorf("extracting features: %w", err)
+	}
+	for i := range ds {
+		dataset.InvalidateStats(ds[i])
+	}
+
 	// Phase 1: workload + oracle truths + join sample + untrained models.
 	preps := make([]*testbed.Prepared, len(ds))
 	errs := forEach(len(ds), workers, func(i int) error {
@@ -188,11 +201,7 @@ func LabelDatasets(ds []*dataset.Dataset, sc Scale, featCfg feature.Config, seed
 		if err != nil {
 			return fmt.Errorf("labeling %s: %w", ds[i].Name, err)
 		}
-		g, err := feature.Extract(ds[i], featCfg)
-		if err != nil {
-			return fmt.Errorf("features of %s: %w", ds[i].Name, err)
-		}
-		out[i] = &LabeledDataset{D: ds[i], Graph: g, Label: res.Label}
+		out[i] = &LabeledDataset{D: ds[i], Graph: graphs[i], Label: res.Label}
 		return nil
 	}
 	if err := testbed.TrainAll(preps, workers, finish); err != nil {
@@ -276,8 +285,9 @@ func (c *Corpus) SamplingLabels(test []*LabeledDataset) ([]*testbed.Label, error
 		cfg.NumQueries = maxInt(30, c.Scale.Queries/3)
 		label, err := testbed.LabelOnly(sampled, cfg)
 		// The sampled dataset is transient; don't let its cached join
-		// index pin it in memory.
+		// index or stats pin it in memory.
 		engine.InvalidateIndex(sampled)
+		dataset.InvalidateStats(sampled)
 		if err != nil {
 			return err
 		}

@@ -33,11 +33,13 @@ func Fig1(sc Scale) (*Fig1Result, error) {
 	power := datagen.PowerLike(sc.Seed)
 	li, err := testbed.LabelOnly(imdb, sc.TestbedConfig(sc.Seed+1))
 	engine.InvalidateIndex(imdb)
+	dataset.InvalidateStats(imdb)
 	if err != nil {
 		return nil, err
 	}
 	lp, err := testbed.LabelOnly(power, sc.TestbedConfig(sc.Seed+2))
 	engine.InvalidateIndex(power)
+	dataset.InvalidateStats(power)
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,9 @@ func TableI(sc Scale) (*TableIResult, error) {
 			}
 			cols += d.TotalColumns()
 			dom += d.TotalDomainSize()
+			// The aggregate populated the shared stats cache; don't let
+			// the reporting pass re-pin corpus datasets.
+			dataset.InvalidateStats(d)
 		}
 		tables := fmt.Sprintf("%d", minT)
 		if maxT != minT {
@@ -235,6 +238,8 @@ func TableIII(c *Corpus) (*TableIIIResult, error) {
 		return nil, err
 	}
 	g, err := feature.Extract(d, c.FeatCfg)
+	// Extraction caches the dataset's stats; d is transient, drop them.
+	dataset.InvalidateStats(d)
 	if err != nil {
 		return nil, err
 	}
@@ -503,8 +508,10 @@ func TableV(c *Corpus) (*TableVResult, error) {
 				}
 			}
 			// The pool dataset is done being queried; drop its cached
-			// join index so it does not stay pinned for process lifetime.
+			// join index and stats so it does not stay pinned for
+			// process lifetime.
 			engine.InvalidateIndex(d)
+			dataset.InvalidateStats(d)
 		}
 		return nil
 	}

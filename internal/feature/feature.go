@@ -10,11 +10,22 @@
 // m×m column-to-column correlation block, and the table's row and column
 // counts — padded with zeros for missing columns. Edge modeling stores the
 // measured join correlation of each FK edge in an n×n matrix.
+//
+// Extraction reads every statistic through the dataset package's fused
+// Summary/Stats engine: one cache-friendly sweep per table instead of
+// per-feature passes, per-dataset distinct-set reuse for the edge
+// weights, and a shared exact-mode cache (dataset.StatsFor) so repeated
+// extraction of the same dataset is nearly free. ExtractBatch fans the
+// per-table summary builds of many datasets over a worker pool, and
+// Config.SampleRows gates the sampled mode (reservoir row sample + KMV
+// distinct sketches) that bounds extraction cost on user-scale tables.
 package feature
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/dataset"
 )
@@ -28,6 +39,16 @@ const K = 6
 type Config struct {
 	// MaxCols is the padded per-table column budget m.
 	MaxCols int
+
+	// SampleRows > 0 enables sampled extraction for tables larger than
+	// this many rows: moments and equal-fractions are estimated from a
+	// deterministic reservoir row sample and domain sizes / join
+	// correlations from KMV distinct sketches, bounding extraction cost
+	// on million-row user datasets. 0 (the default) is exact mode, which
+	// is byte-identical to the naive per-feature computation.
+	SampleRows int
+	// SampleSeed makes sampled extraction deterministic.
+	SampleSeed int64
 }
 
 // DefaultConfig covers the synthetic and real-world-like corpora of this
@@ -63,34 +84,54 @@ func (g *Graph) Clone() *Graph {
 // Extract builds the feature graph of a dataset. Tables with more than
 // MaxCols columns contribute their first MaxCols columns; this never
 // triggers for the corpora in this repository.
+//
+// Every statistic is read from the dataset's Summary/Stats engine. In
+// exact mode the stats view is the shared dataset.StatsFor cache —
+// callers that mutate or discard the dataset afterwards must call
+// dataset.InvalidateStats, like engine.InvalidateIndex.
 func Extract(d *dataset.Dataset, cfg Config) (*Graph, error) {
 	if cfg.MaxCols < 1 {
 		return nil, fmt.Errorf("feature: MaxCols must be positive")
 	}
+	return extractWith(d, statsOf(d, cfg), cfg)
+}
+
+// statsOf picks the statistics view the config asks for: the shared
+// exact-mode cache, or a transient sampled view.
+func statsOf(d *dataset.Dataset, cfg Config) *dataset.Stats {
+	if cfg.SampleRows > 0 {
+		return dataset.NewStats(d, dataset.SummaryOpts{
+			SampleRows: cfg.SampleRows,
+			Seed:       cfg.SampleSeed,
+		})
+	}
+	return dataset.StatsFor(d)
+}
+
+// extractWith assembles the graph from a prepared statistics view.
+func extractWith(d *dataset.Dataset, st *dataset.Stats, cfg Config) (*Graph, error) {
 	m := cfg.MaxCols
 	g := &Graph{Name: d.Name}
-	for _, t := range d.Tables {
-		g.V = append(g.V, vertexFeatures(t, m))
+	for ti, t := range d.Tables {
+		g.V = append(g.V, vertexFeatures(t, st.Summary(ti), m))
 	}
 	n := len(d.Tables)
 	g.E = make([][]float64, n)
 	for i := range g.E {
 		g.E[i] = make([]float64, n)
 	}
-	for _, fk := range d.FKs {
-		corr := dataset.JoinCorrelation(
-			d.Tables[fk.FromTable].Col(fk.FromCol),
-			d.Tables[fk.ToTable].Col(fk.ToCol))
+	corrs := st.FKCorrelations()
+	for fi, fk := range d.FKs {
 		// E[i][j] with i = PK side, j = FK side (paper's Edge Modeling);
 		// mirrored so the GIN aggregation treats joins as undirected.
-		g.E[fk.ToTable][fk.FromTable] = corr
-		g.E[fk.FromTable][fk.ToTable] = corr
+		g.E[fk.ToTable][fk.FromTable] = corrs[fi]
+		g.E[fk.FromTable][fk.ToTable] = corrs[fi]
 	}
 	return g, nil
 }
 
 // vertexFeatures flattens one table into its (k+m)*m+2 vector.
-func vertexFeatures(t *dataset.Table, m int) []float64 {
+func vertexFeatures(t *dataset.Table, sum *dataset.Summary, m int) []float64 {
 	ncols := t.NumCols()
 	if ncols > m {
 		ncols = m
@@ -99,7 +140,7 @@ func vertexFeatures(t *dataset.Table, m int) []float64 {
 	// Per-column distribution features, normalized into comparable scales:
 	// skewness and kurtosis squashed with tanh, magnitudes log-compressed.
 	for c := 0; c < ncols; c++ {
-		st := dataset.ColumnStats(t.Col(c))
+		st := &sum.Cols[c]
 		base := c * K
 		v[base+0] = math.Tanh(st.Skewness / 4)
 		v[base+1] = math.Tanh(st.Kurtosis / 10)
@@ -117,7 +158,7 @@ func vertexFeatures(t *dataset.Table, m int) []float64 {
 			if a == b {
 				corr = 1
 			} else {
-				corr = dataset.EqualFraction(t.Col(a), t.Col(b))
+				corr = sum.EqualFrac(a, b)
 			}
 			v[corrBase+a*m+b] = corr
 		}
@@ -125,6 +166,58 @@ func vertexFeatures(t *dataset.Table, m int) []float64 {
 	v[(K+m)*m] = math.Log1p(float64(t.Rows())) / 14
 	v[(K+m)*m+1] = float64(t.NumCols()) / float64(m)
 	return v
+}
+
+// ExtractBatch extracts the feature graphs of many datasets with every
+// per-table summary build (and per-dataset FK-correlation pass) fanned
+// over a pool of workers goroutines (NumCPU when workers <= 0). The
+// result is byte-identical to calling Extract per dataset, in order. In
+// exact mode the shared dataset.StatsFor cache is populated as a side
+// effect — transient-corpus callers should dataset.InvalidateStats each
+// dataset once its graph is in hand.
+func ExtractBatch(ds []*dataset.Dataset, cfg Config, workers int) ([]*Graph, error) {
+	if cfg.MaxCols < 1 {
+		return nil, fmt.Errorf("feature: MaxCols must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	sts := make([]*dataset.Stats, len(ds))
+	type job struct{ di, ti int } // ti == -1: FK correlations
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if j.ti < 0 {
+					sts[j.di].FKCorrelations()
+				} else {
+					sts[j.di].Summary(j.ti)
+				}
+			}
+		}()
+	}
+	for di, d := range ds {
+		sts[di] = statsOf(d, cfg)
+		for ti := range d.Tables {
+			jobs <- job{di, ti}
+		}
+		jobs <- job{di, -1}
+	}
+	close(jobs)
+	wg.Wait()
+
+	out := make([]*Graph, len(ds))
+	for di, d := range ds {
+		g, err := extractWith(d, sts[di], cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[di] = g
+	}
+	return out, nil
 }
 
 // Mixup implements the paper's Eq. 14 data augmentation on feature graphs:

@@ -2,10 +2,12 @@ package feature
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/datagen"
+	"repro/internal/dataset"
 )
 
 func TestExtractShapes(t *testing.T) {
@@ -212,5 +214,219 @@ func TestCloneIndependence(t *testing.T) {
 	c.V[0][0] = 999
 	if g.V[0][0] == 999 {
 		t.Fatal("Clone shares vertex storage")
+	}
+}
+
+// naiveExtract rebuilds the feature graph from the per-call naive
+// statistics API (ColumnStats, EqualFraction, JoinCorrelation) — the
+// pre-fusion implementation shape. Extract must match it exactly: the
+// kernels are shared, so any divergence is a fusion bug (wrong pair
+// indexing, stale codes, misrouted distinct sets).
+func naiveExtract(d *dataset.Dataset, cfg Config) *Graph {
+	m := cfg.MaxCols
+	g := &Graph{Name: d.Name}
+	for _, t := range d.Tables {
+		ncols := t.NumCols()
+		if ncols > m {
+			ncols = m
+		}
+		v := make([]float64, (K+m)*m+2)
+		for c := 0; c < ncols; c++ {
+			st := dataset.ColumnStats(t.Col(c))
+			base := c * K
+			v[base+0] = math.Tanh(st.Skewness / 4)
+			v[base+1] = math.Tanh(st.Kurtosis / 10)
+			v[base+2] = math.Log1p(st.Std) / 10
+			v[base+3] = math.Log1p(st.MeanDev) / 10
+			v[base+4] = math.Log1p(st.Range) / 12
+			v[base+5] = math.Log1p(float64(st.DomainSize)) / 12
+		}
+		corrBase := K * m
+		for a := 0; a < ncols; a++ {
+			for b := 0; b < ncols; b++ {
+				var corr float64
+				if a == b {
+					corr = 1
+				} else {
+					corr = dataset.EqualFraction(t.Col(a), t.Col(b))
+				}
+				v[corrBase+a*m+b] = corr
+			}
+		}
+		v[(K+m)*m] = math.Log1p(float64(t.Rows())) / 14
+		v[(K+m)*m+1] = float64(t.NumCols()) / float64(m)
+		g.V = append(g.V, v)
+	}
+	n := len(d.Tables)
+	g.E = make([][]float64, n)
+	for i := range g.E {
+		g.E[i] = make([]float64, n)
+	}
+	for _, fk := range d.FKs {
+		corr := dataset.JoinCorrelation(
+			d.Tables[fk.FromTable].Col(fk.FromCol),
+			d.Tables[fk.ToTable].Col(fk.ToCol))
+		g.E[fk.ToTable][fk.FromTable] = corr
+		g.E[fk.FromTable][fk.ToTable] = corr
+	}
+	return g
+}
+
+func graphsIdentical(t *testing.T, got, want *Graph, label string) {
+	t.Helper()
+	if len(got.V) != len(want.V) || len(got.E) != len(want.E) {
+		t.Fatalf("%s: shape mismatch", label)
+	}
+	for i := range want.V {
+		for f := range want.V[i] {
+			if got.V[i][f] != want.V[i][f] {
+				t.Fatalf("%s: vertex %d feature %d: %g != %g", label, i, f, got.V[i][f], want.V[i][f])
+			}
+		}
+	}
+	for i := range want.E {
+		for j := range want.E[i] {
+			if got.E[i][j] != want.E[i][j] {
+				t.Fatalf("%s: edge (%d,%d): %g != %g", label, i, j, got.E[i][j], want.E[i][j])
+			}
+		}
+	}
+}
+
+// TestExtractMatchesNaiveReference pins the fused extraction path
+// bit-for-bit against the per-call naive statistics API over random
+// datagen datasets.
+func TestExtractMatchesNaiveReference(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(0); seed < 8; seed++ {
+		p := datagen.DefaultParams(seed)
+		p.Tables = 1 + int(seed%4)
+		p.MinRows, p.MaxRows = 50, 300
+		d, err := datagen.Generate("diff", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Extract(d, cfg)
+		dataset.InvalidateStats(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsIdentical(t, got, naiveExtract(d, cfg), "extract")
+	}
+}
+
+// TestExtractBatchMatchesSerial: the pooled batch path must be
+// byte-identical to per-dataset Extract, in order.
+func TestExtractBatchMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	var ds []*dataset.Dataset
+	for seed := int64(20); seed < 26; seed++ {
+		p := datagen.DefaultParams(seed)
+		p.Tables = 1 + int(seed%3)
+		p.MinRows, p.MaxRows = 40, 200
+		d, err := datagen.Generate("batch", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	batch, err := ExtractBatch(ds, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(ds) {
+		t.Fatalf("batch returned %d graphs for %d datasets", len(batch), len(ds))
+	}
+	for i, d := range ds {
+		dataset.InvalidateStats(d)
+		want, err := Extract(d, cfg)
+		dataset.InvalidateStats(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsIdentical(t, batch[i], want, d.Name)
+	}
+}
+
+// TestExtractBatchConcurrent drives the pool from many goroutines at
+// once (run under -race in CI) against shared cached datasets.
+func TestExtractBatchConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	var ds []*dataset.Dataset
+	for seed := int64(30); seed < 34; seed++ {
+		p := datagen.DefaultParams(seed)
+		p.MinRows, p.MaxRows = 40, 150
+		d, err := datagen.Generate("conc", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	defer func() {
+		for _, d := range ds {
+			dataset.InvalidateStats(d)
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = ExtractBatch(ds, cfg, 3)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSampledExtract: sampled-mode extraction must produce bounded,
+// well-formed features, stay deterministic for a fixed seed, and agree
+// with exact extraction within loose tolerances.
+func TestSampledExtract(t *testing.T) {
+	p := datagen.DefaultParams(40)
+	p.Tables = 2
+	p.MinRows, p.MaxRows = 3000, 4000
+	d, err := datagen.Generate("samp", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	exact, err := Extract(d, cfg)
+	dataset.InvalidateStats(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SampleRows = 512
+	cfg.SampleSeed = 5
+	s1, err := Extract(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Extract(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsIdentical(t, s2, s1, "sampled determinism")
+	for i, row := range s1.V {
+		for f, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("sampled vertex %d feature %d is %g", i, f, x)
+			}
+			if math.Abs(x-exact.V[i][f]) > 0.2 {
+				t.Fatalf("sampled vertex %d feature %d = %g, exact %g", i, f, x, exact.V[i][f])
+			}
+		}
+	}
+	for i := range s1.E {
+		for j := range s1.E[i] {
+			if math.Abs(s1.E[i][j]-exact.E[i][j]) > 0.15 {
+				t.Fatalf("sampled edge (%d,%d) = %g, exact %g", i, j, s1.E[i][j], exact.E[i][j])
+			}
+		}
 	}
 }
