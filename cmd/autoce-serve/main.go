@@ -1,9 +1,12 @@
-// Command autoce-serve exposes a trained advisor as an HTTP/JSON
-// recommendation service — the paper's cloud-vendor scenario (Section I)
-// as an actual server. It loads a gob advisor written by `autoce -save`
-// (or core.Advisor.SaveFile) and serves:
+// Command autoce-serve exposes a trained advisor as an HTTP/JSON model
+// lifecycle service — the paper's cloud-vendor scenario (Section I) as an
+// actual server, closed into a loop: onboard a dataset, get a
+// recommendation, train the recommended estimator through the ce registry,
+// and serve cardinality estimates from it. It loads a gob advisor written
+// by `autoce -save` (or core.Advisor.SaveFile) and serves:
 //
 //	POST /recommend  {"v": [[...]], "e": [[...]], "wa": 0.9, "k": 2}
+//	                 or {"dataset": "db1", "wa": 0.9}
 //	                 -> the selected model, its averaged score vector, and
 //	                    the RCS neighbors consulted
 //	POST /drift      {"v": [[...]], "e": [[...]]}
@@ -13,21 +16,41 @@
 //	                  "se": [...], "epochs": 2}
 //	                 -> online-adapts the advisor with a freshly labeled
 //	                    sample (Section V-E) and reports the new RCS size
-//	GET  /healthz    -> liveness plus RCS size
+//	POST /datasets   {"name": "db1", "tables": [{"name": "t0", "pk": 0,
+//	                  "cols": [{"name": "c0", "data": [1,2,3]}]}],
+//	                  "fks": [{"from_table":1,"from_col":0,
+//	                           "to_table":0,"to_col":0}]}
+//	                 -> onboards (or replaces) a dataset for training and
+//	                    estimation; reloads its stored model artifacts
+//	POST /train      {"dataset": "db1", "model": "MSCN"} or
+//	                 {"dataset": "db1", "wa": 0.9} (train the recommended
+//	                 model) -> trains through the registry, persists the
+//	                 artifact (with -model-dir), and atomically publishes
+//	                 the model for /estimate
+//	POST /estimate   {"dataset": "db1", "query": {...}} or
+//	                 {"dataset": "db1", "queries": [{...}, ...]}
+//	                 -> cardinality estimates from the trained model's
+//	                    batched hot path
+//	GET  /models     -> the estimator registry (name/kind/candidate) and
+//	                    the trained models per dataset
+//	GET  /healthz    -> liveness plus RCS/dataset/model counts
 //
 // The graph payload is the feature graph of internal/feature: "v" is the
-// n×VertexDim vertex matrix, "e" the n×n weighted adjacency matrix.
+// n×VertexDim vertex matrix, "e" the n×n weighted adjacency matrix. Query
+// payloads use dataset-level table/column indexes with closed-interval
+// range predicates.
 //
-// Requests are served from the advisor's lock-free snapshot, so any
-// number of /recommend and /drift calls proceed concurrently; /adapt
-// retrains in the background of those reads and atomically publishes the
-// adapted snapshot. Shutdown is graceful: SIGINT/SIGTERM stop the
-// listener and drain in-flight requests.
+// Requests are served from lock-free snapshots (the advisor's
+// core.Snapshot and the model zoo's zooState), so any number of
+// /recommend, /drift, and /estimate calls proceed concurrently; /adapt,
+// /datasets, and /train mutate in the background of those reads and
+// atomically publish successor snapshots. Shutdown is graceful:
+// SIGINT/SIGTERM stop the listener and drain in-flight requests.
 //
 // Usage:
 //
 //	autoce -train 40 -save advisor.gob
-//	autoce-serve -advisor advisor.gob -addr :8080
+//	autoce-serve -advisor advisor.gob -addr :8080 -model-dir ./models
 package main
 
 import (
@@ -40,9 +63,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/ce"
 	"repro/internal/core"
 	"repro/internal/feature"
 	"repro/internal/testbed"
@@ -51,6 +77,7 @@ import (
 func main() {
 	advisorPath := flag.String("advisor", "", "path to a gob advisor written by core.Advisor.SaveFile (required)")
 	addr := flag.String("addr", ":8080", "listen address")
+	modelDir := flag.String("model-dir", "", "directory for trained-model artifacts; /train persists into it and /datasets reloads from it (empty = in-memory only)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 	if *advisorPath == "" {
@@ -66,7 +93,18 @@ func main() {
 	log.Printf("loaded advisor from %s (%d labeled datasets in the RCS, k=%d)",
 		*advisorPath, len(adv.RCS()), adv.Serving().K())
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(adv)}
+	var store *ce.Store
+	if *modelDir != "" {
+		store, err = ce.NewStore(*modelDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if entries, err := store.List(); err == nil {
+			log.Printf("model store %s holds %d artifacts", *modelDir, len(entries))
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(adv, store)}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
@@ -88,19 +126,31 @@ func main() {
 	log.Print("bye")
 }
 
-// server holds the shared advisor behind the HTTP handlers.
+// server holds the shared advisor, the artifact store, and the model-zoo
+// serving snapshot behind the HTTP handlers.
 type server struct {
-	adv *core.Advisor
+	adv   *core.Advisor
+	store *ce.Store // nil: in-memory only
+
+	// zoo is the lock-free serving snapshot of onboarded datasets and
+	// their trained models; zooMu serializes mutators (see models.go).
+	zoo   atomic.Pointer[zooState]
+	zooMu sync.Mutex
 }
 
 // newServer wires the endpoint handlers onto a mux (split out of main so
 // the httptest suite can drive the exact production routing).
-func newServer(adv *core.Advisor) http.Handler {
-	s := &server{adv: adv}
+func newServer(adv *core.Advisor, store *ce.Store) http.Handler {
+	s := &server{adv: adv, store: store}
+	s.zoo.Store(&zooState{tenants: map[string]*tenant{}})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/recommend", s.handleRecommend)
 	mux.HandleFunc("/drift", s.handleDrift)
 	mux.HandleFunc("/adapt", s.handleAdapt)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/train", s.handleTrain)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -140,8 +190,11 @@ func (p *graphPayload) toGraph() (*feature.Graph, error) {
 
 type recommendRequest struct {
 	graphPayload
-	Wa float64 `json:"wa"`
-	K  int     `json:"k"` // 0 means the advisor's trained default
+	// Dataset names an onboarded dataset; its extracted feature graph is
+	// used instead of an inline v/e payload.
+	Dataset string  `json:"dataset"`
+	Wa      float64 `json:"wa"`
+	K       int     `json:"k"` // 0 means the advisor's trained default
 }
 
 type neighborInfo struct {
@@ -174,9 +227,23 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	// One snapshot for both the recommendation and the neighbor names, so
 	// the indexes resolve consistently even mid-/adapt.
 	snap := s.adv.Serving()
-	g := graphFor(w, &req.graphPayload, snap.InDim())
-	if g == nil {
-		return
+	var g *feature.Graph
+	if req.Dataset != "" {
+		if len(req.V) != 0 || len(req.E) != 0 {
+			writeError(w, http.StatusBadRequest, "provide either \"dataset\" or an inline graph, not both")
+			return
+		}
+		tn, ok := s.zoo.Load().tenants[req.Dataset]
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded", req.Dataset))
+			return
+		}
+		g = tn.graph
+	} else {
+		g = graphFor(w, &req.graphPayload, snap.InDim())
+		if g == nil {
+			return
+		}
 	}
 	k := req.K
 	if k == 0 {
@@ -184,8 +251,10 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	rec := snap.RecommendK(g, req.Wa, k)
 	resp := recommendResponse{Model: rec.Model, Scores: rec.Scores, Wa: req.Wa, K: k}
-	if rec.Model >= 0 && rec.Model < len(testbed.ModelNames) {
-		resp.ModelName = testbed.ModelNames[rec.Model]
+	// rec.Model indexes the candidate set (the advisor's label space);
+	// translate to the registry name rather than indexing ModelNames.
+	if name, ok := testbed.CandidateModelName(rec.Model); ok {
+		resp.ModelName = name
 	}
 	for _, ni := range rec.Neighbors {
 		resp.Neighbors = append(resp.Neighbors, neighborInfo{Index: ni, Name: snap.RCS()[ni].Name})
@@ -270,9 +339,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	state := s.zoo.Load()
+	trained := 0
+	for _, tn := range state.tenants {
+		trained += len(tn.models)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       true,
-		"rcs_size": len(s.adv.RCS()),
+		"ok":             true,
+		"rcs_size":       len(s.adv.RCS()),
+		"datasets":       len(state.tenants),
+		"trained_models": trained,
 	})
 }
 
@@ -295,11 +371,12 @@ func graphFor(w http.ResponseWriter, p *graphPayload, inDim int) *feature.Graph 
 }
 
 // maxBodyBytes caps request bodies. The largest legitimate payload is a
-// feature graph — n×VertexDim vertices plus an n×n adjacency — which at
-// the default configuration stays under a megabyte even for datasets far
-// larger than any corpus here; 16 MiB leaves generous headroom while
-// keeping one oversized POST from ballooning the decoder.
-const maxBodyBytes = 16 << 20
+// /datasets onboarding request: columnar JSON for up to the cell cap
+// enforced in models.go (maxDatasetCells, 4M values), which at typical
+// value widths runs to a few tens of megabytes; 64 MiB covers that with
+// headroom while keeping one oversized POST from ballooning the decoder.
+// Feature-graph payloads (/recommend, /adapt) stay far smaller.
+const maxBodyBytes = 64 << 20
 
 // decodePost enforces the POST method, the body size cap, and strict JSON
 // decoding; it writes the error response itself and reports whether the

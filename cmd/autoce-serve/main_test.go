@@ -80,7 +80,7 @@ func graphBody(g *feature.Graph) map[string]any {
 
 func TestServeRecommend(t *testing.T) {
 	adv, samples := testAdvisor(t, 16)
-	ts := httptest.NewServer(newServer(adv))
+	ts := httptest.NewServer(newServer(adv, nil))
 	defer ts.Close()
 
 	body := graphBody(samples[0].Graph)
@@ -118,7 +118,7 @@ func TestServeRecommend(t *testing.T) {
 
 func TestServeDrift(t *testing.T) {
 	adv, samples := testAdvisor(t, 16)
-	ts := httptest.NewServer(newServer(adv))
+	ts := httptest.NewServer(newServer(adv, nil))
 	defer ts.Close()
 
 	resp, data := postJSON(t, ts, "/drift", graphBody(samples[0].Graph))
@@ -153,7 +153,7 @@ func TestServeDrift(t *testing.T) {
 
 func TestServeAdapt(t *testing.T) {
 	adv, samples := testAdvisor(t, 12)
-	ts := httptest.NewServer(newServer(adv))
+	ts := httptest.NewServer(newServer(adv, nil))
 	defer ts.Close()
 
 	body := graphBody(samples[0].Graph)
@@ -190,7 +190,7 @@ func TestServeAdapt(t *testing.T) {
 
 func TestServeHealthz(t *testing.T) {
 	adv, _ := testAdvisor(t, 10)
-	ts := httptest.NewServer(newServer(adv))
+	ts := httptest.NewServer(newServer(adv, nil))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -212,7 +212,7 @@ func TestServeHealthz(t *testing.T) {
 
 func TestServeMalformedRequests(t *testing.T) {
 	adv, samples := testAdvisor(t, 10)
-	ts := httptest.NewServer(newServer(adv))
+	ts := httptest.NewServer(newServer(adv, nil))
 	defer ts.Close()
 	g := samples[0].Graph
 
@@ -304,7 +304,7 @@ func TestServeMalformedRequests(t *testing.T) {
 // -race this exercises the snapshot swap under real HTTP concurrency.
 func TestServeConcurrentTraffic(t *testing.T) {
 	adv, samples := testAdvisor(t, 12)
-	ts := httptest.NewServer(newServer(adv))
+	ts := httptest.NewServer(newServer(adv, nil))
 	defer ts.Close()
 
 	var wg sync.WaitGroup

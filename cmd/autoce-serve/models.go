@@ -1,0 +1,629 @@
+package main
+
+// The model-lifecycle half of the serving front-end: dataset onboarding,
+// registry-driven training, and batched estimation served from an
+// atomically swapped snapshot. This closes the loop the advisor opens —
+// /recommend names a model, /train fits that model on the onboarded
+// dataset through the ce registry, and /estimate answers cardinality
+// queries from it.
+//
+// Concurrency mirrors internal/core's serving snapshot: readers load an
+// immutable zooState from an atomic pointer and never block; mutators
+// (/datasets, /train) serialize on a lock, copy the state, and publish the
+// successor. Models whose inference is stateful (Spec.Concurrent == false)
+// are additionally guarded by a per-model mutex, so sampling-based
+// estimators stay correct under concurrent /estimate traffic.
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ce"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/feature"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Onboarding and training limits: generous for real use, tight enough
+// that one malformed request cannot stall the server.
+const (
+	maxDatasetNameLen = 128
+	// maxDatasetTables bounds the join graph: training a data-driven model
+	// enumerates connected table subsets (up to 2^n exact engine join
+	// counts), so the table count — not just the cell count — must stay
+	// small enough that one /train cannot pin the server (2^8 masks is
+	// trivial; the paper's schemas use at most 5 tables).
+	maxDatasetTables = 8
+	maxDatasetCells  = 4 << 20 // total values across all tables
+	maxTrainQueries  = 2000
+	maxSampleRows    = 20000
+	maxBatchQueries  = 10000
+	defaultWa        = 0.9
+)
+
+// servedModel is one trained model published in the serving snapshot.
+type servedModel struct {
+	spec  ce.Spec
+	model ce.Model
+	// mu guards models whose inference mutates internal state (sampling
+	// RNGs); nil for concurrent-safe models.
+	mu *sync.Mutex
+}
+
+func newServedModel(spec ce.Spec, m ce.Model) *servedModel {
+	sm := &servedModel{spec: spec, model: m}
+	if !spec.Concurrent {
+		sm.mu = &sync.Mutex{}
+	}
+	return sm
+}
+
+// estimate runs the batched hot path under the model's guard (if any).
+func (sm *servedModel) estimate(qs []*workload.Query) []float64 {
+	if sm.mu != nil {
+		sm.mu.Lock()
+		defer sm.mu.Unlock()
+	}
+	return sm.model.EstimateBatch(qs)
+}
+
+// schemaSignature fingerprints a dataset's structure — table/column
+// counts, primary keys, and FK edges. Artifacts record it at training
+// time; a reloaded model is only served when the onboarded dataset still
+// matches, so a re-onboarded dataset with a different shape can never be
+// routed into a model indexed for the old one.
+func schemaSignature(d *dataset.Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t%d", len(d.Tables))
+	for _, t := range d.Tables {
+		fmt.Fprintf(&b, ";c%d,pk%d", t.NumCols(), t.PKCol)
+	}
+	for _, fk := range d.FKs {
+		fmt.Fprintf(&b, ";f%d.%d>%d.%d", fk.FromTable, fk.FromCol, fk.ToTable, fk.ToCol)
+	}
+	return b.String()
+}
+
+// tenant is one onboarded dataset with its feature graph and trained
+// models. All fields are immutable once published; updates clone.
+type tenant struct {
+	d      *dataset.Dataset
+	graph  *feature.Graph
+	models map[string]*servedModel
+	active string // most recently trained model name
+}
+
+func (t *tenant) clone() *tenant {
+	nt := &tenant{d: t.d, graph: t.graph, active: t.active,
+		models: make(map[string]*servedModel, len(t.models))}
+	for k, v := range t.models {
+		nt.models[k] = v
+	}
+	return nt
+}
+
+// zooState is the immutable serving snapshot of every onboarded dataset.
+type zooState struct {
+	tenants map[string]*tenant
+}
+
+func (z *zooState) clone() *zooState {
+	nz := &zooState{tenants: make(map[string]*tenant, len(z.tenants))}
+	for k, v := range z.tenants {
+		nz.tenants[k] = v
+	}
+	return nz
+}
+
+// ---------------------------------------------------------------- onboard
+
+type columnPayload struct {
+	Name string  `json:"name"`
+	Data []int64 `json:"data"`
+}
+
+type tablePayload struct {
+	Name string          `json:"name"`
+	PK   *int            `json:"pk"` // column index; absent = no primary key
+	Cols []columnPayload `json:"cols"`
+}
+
+type fkPayload struct {
+	FromTable int `json:"from_table"`
+	FromCol   int `json:"from_col"`
+	ToTable   int `json:"to_table"`
+	ToCol     int `json:"to_col"`
+}
+
+type datasetRequest struct {
+	Name   string         `json:"name"`
+	Tables []tablePayload `json:"tables"`
+	FKs    []fkPayload    `json:"fks"`
+}
+
+type datasetResponse struct {
+	Dataset      string   `json:"dataset"`
+	Tables       int      `json:"tables"`
+	Rows         int      `json:"rows"`
+	VertexDim    int      `json:"vertex_dim"`
+	StoredModels []string `json:"stored_models,omitempty"`
+}
+
+// toDataset validates the payload and builds the in-memory dataset.
+func (p *datasetRequest) toDataset() (*dataset.Dataset, error) {
+	if p.Name == "" {
+		return nil, fmt.Errorf("dataset name is required")
+	}
+	if len(p.Name) > maxDatasetNameLen {
+		return nil, fmt.Errorf("dataset name exceeds %d bytes", maxDatasetNameLen)
+	}
+	if len(p.Tables) == 0 {
+		return nil, fmt.Errorf("dataset has no tables")
+	}
+	if len(p.Tables) > maxDatasetTables {
+		return nil, fmt.Errorf("dataset has %d tables, limit %d", len(p.Tables), maxDatasetTables)
+	}
+	cells := 0
+	d := &dataset.Dataset{Name: p.Name}
+	for ti, tp := range p.Tables {
+		if len(tp.Cols) == 0 {
+			return nil, fmt.Errorf("table %d has no columns", ti)
+		}
+		name := tp.Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", ti)
+		}
+		t := &dataset.Table{Name: name, PKCol: -1}
+		if tp.PK != nil {
+			t.PKCol = *tp.PK
+		}
+		for ci, cp := range tp.Cols {
+			if len(cp.Data) == 0 {
+				return nil, fmt.Errorf("table %d column %d is empty", ti, ci)
+			}
+			cells += len(cp.Data)
+			if cells > maxDatasetCells {
+				return nil, fmt.Errorf("dataset exceeds %d total values", maxDatasetCells)
+			}
+			cname := cp.Name
+			if cname == "" {
+				cname = fmt.Sprintf("c%d", ci)
+			}
+			t.Cols = append(t.Cols, dataset.NewColumn(cname, cp.Data))
+		}
+		d.Tables = append(d.Tables, t)
+	}
+	for _, fk := range p.FKs {
+		d.FKs = append(d.FKs, dataset.ForeignKey{
+			FromTable: fk.FromTable, FromCol: fk.FromCol,
+			ToTable: fk.ToTable, ToCol: fk.ToCol,
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if !hasPredicableColumn(d) {
+		return nil, fmt.Errorf("dataset has no predicable column: every non-key, non-FK column is constant, so no training workload can be generated")
+	}
+	return d, nil
+}
+
+// hasPredicableColumn reports whether some table has a column the workload
+// generator can place a range predicate on (not a primary key, not an FK
+// source, spanning more than one value) — the condition for workload
+// generation to terminate.
+func hasPredicableColumn(d *dataset.Dataset) bool {
+	fkCols := map[[2]int]bool{}
+	for _, fk := range d.FKs {
+		fkCols[[2]int{fk.FromTable, fk.FromCol}] = true
+	}
+	for ti, t := range d.Tables {
+		for ci, c := range t.Cols {
+			if ci == t.PKCol || fkCols[[2]int{ti, ci}] {
+				continue
+			}
+			if lo, hi := c.MinMax(); hi > lo {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// handleDatasets onboards (or replaces) a dataset: validate, extract the
+// feature graph, reload any stored artifacts, and publish the new tenant.
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	var req datasetRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	d, err := req.toDataset()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g, err := feature.Extract(d, feature.DefaultConfig())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "extracting features: "+err.Error())
+		return
+	}
+	if inDim := s.adv.Serving().InDim(); len(g.V) > 0 && len(g.V[0]) != inDim {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"dataset features have dimension %d, advisor's encoder expects %d", len(g.V[0]), inDim))
+		return
+	}
+	tn := &tenant{d: d, graph: g, models: map[string]*servedModel{}}
+	// Reload persisted artifacts for this dataset name, so a restarted
+	// server resumes serving estimates once the data is back. Artifacts
+	// whose recorded schema fingerprint does not match the onboarded
+	// dataset are skipped: they were trained on a structurally different
+	// version of the data and would index it wrongly.
+	var stored []string
+	if s.store != nil {
+		schema := schemaSignature(d)
+		entries, err := s.store.List()
+		var newest time.Time
+		if err == nil {
+			for _, e := range entries {
+				if e.Dataset != d.Name {
+					continue
+				}
+				m, artSchema, err := s.store.Load(e.Dataset, e.Model)
+				if err != nil || artSchema != schema {
+					continue
+				}
+				spec, ok := ce.Lookup(e.Model)
+				if !ok {
+					continue
+				}
+				tn.models[e.Model] = newServedModel(spec, m)
+				stored = append(stored, e.Model)
+				// active tracks the most recently trained model, as it
+				// does on the live /train path; artifact mtime is the
+				// training order a restart can recover.
+				if fi, err := os.Stat(e.Path); err == nil && (tn.active == "" || fi.ModTime().After(newest)) {
+					newest = fi.ModTime()
+					tn.active = e.Model
+				}
+			}
+		}
+		sort.Strings(stored)
+		if tn.active == "" && len(stored) > 0 {
+			tn.active = stored[0]
+		}
+	}
+
+	s.zooMu.Lock()
+	state := s.zoo.Load().clone()
+	if old, ok := state.tenants[d.Name]; ok {
+		// Replacing a dataset drops its cached engine/statistics state;
+		// previously trained models describe the old data and are dropped
+		// with it (stored artifacts above were reloaded explicitly).
+		engine.InvalidateIndex(old.d)
+		dataset.InvalidateStats(old.d)
+	}
+	state.tenants[d.Name] = tn
+	s.zoo.Store(state)
+	s.zooMu.Unlock()
+
+	writeJSON(w, http.StatusOK, datasetResponse{
+		Dataset: d.Name, Tables: d.NumTables(), Rows: d.TotalRows(),
+		VertexDim: s.adv.Serving().InDim(), StoredModels: stored,
+	})
+}
+
+// ------------------------------------------------------------------ train
+
+type trainRequest struct {
+	Dataset string `json:"dataset"`
+	// Model names the registry model to train; empty means "train the
+	// model the advisor recommends for this dataset under wa".
+	Model      string   `json:"model"`
+	Wa         *float64 `json:"wa"`          // recommendation weight when Model == "" (default 0.9; explicit 0 is honored)
+	Queries    int      `json:"queries"`     // labeled workload size (default 160)
+	SampleRows int      `json:"sample_rows"` // join-sample cap (default 800)
+	Fast       *bool    `json:"fast"`        // reduced training budget (default true)
+	Seed       int64    `json:"seed"`
+}
+
+type trainResponse struct {
+	Dataset     string  `json:"dataset"`
+	Model       string  `json:"model"`
+	Recommended bool    `json:"recommended"` // model came from the advisor
+	Wa          float64 `json:"wa,omitempty"`
+	TrainMillis int64   `json:"train_millis"`
+	Artifact    string  `json:"artifact,omitempty"`
+}
+
+func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	tn, ok := s.zoo.Load().tenants[req.Dataset]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded (POST /datasets first)", req.Dataset))
+		return
+	}
+	if req.Queries < 0 || req.Queries > maxTrainQueries {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("queries %d outside [0, %d]", req.Queries, maxTrainQueries))
+		return
+	}
+	if req.SampleRows < 0 || req.SampleRows > maxSampleRows {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("sample_rows %d outside [0, %d]", req.SampleRows, maxSampleRows))
+		return
+	}
+	if req.Wa != nil && (*req.Wa < 0 || *req.Wa > 1) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("wa %g outside [0,1]", *req.Wa))
+		return
+	}
+
+	name := req.Model
+	recommended := false
+	wa := defaultWa
+	if req.Wa != nil {
+		wa = *req.Wa
+	}
+	if name == "" {
+		rec := s.adv.Serving().Recommend(tn.graph, wa)
+		// rec.Model indexes the candidate set (the advisor's label space),
+		// not the registry; translate before looking the model up.
+		n, ok := testbed.CandidateModelName(rec.Model)
+		if !ok {
+			writeError(w, http.StatusInternalServerError, "advisor returned no usable recommendation")
+			return
+		}
+		name = n
+		recommended = true
+	}
+	spec, ok := ce.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("model %q is not registered (see GET /models)", name))
+		return
+	}
+	if spec.Kind == ce.Composite {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("model %q is composite; train its members instead", name))
+		return
+	}
+
+	cfg := testbed.Config{NumQueries: 160, SampleRows: 800, Fast: true, Seed: req.Seed}
+	if req.Queries > 0 {
+		cfg.NumQueries = req.Queries
+	}
+	if req.SampleRows > 0 {
+		cfg.SampleRows = req.SampleRows
+	}
+	if req.Fast != nil {
+		cfg.Fast = *req.Fast
+	}
+
+	t0 := time.Now()
+	in := testbed.NewTrainInputFor(tn.d, cfg, spec.Kind)
+	m := spec.New(ce.Config{Fast: cfg.Fast, Seed: cfg.Seed})
+	if err := m.Fit(in); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("training %s: %v", name, err))
+		return
+	}
+	elapsed := time.Since(t0)
+
+	resp := trainResponse{
+		Dataset: req.Dataset, Model: name, Recommended: recommended,
+		TrainMillis: elapsed.Milliseconds(),
+	}
+	if recommended {
+		resp.Wa = wa
+	}
+
+	// Publish: clone the state, swap in the new model snapshot. The model
+	// was trained against the dataset captured in tn; if the dataset was
+	// replaced mid-training (same name, different data — tenant clones
+	// share the dataset pointer, replacements do not), both publishing the
+	// stale model and persisting its artifact would leak a model indexed
+	// for data the tenant no longer holds, so conflict instead. The
+	// artifact write happens under the same lock as the pointer check:
+	// a replacement cannot slip between validation and persistence.
+	s.zooMu.Lock()
+	state := s.zoo.Load().clone()
+	cur, ok := state.tenants[req.Dataset]
+	if !ok || cur.d != tn.d {
+		s.zooMu.Unlock()
+		// Training repopulated the replaced dataset's engine-index and
+		// stats caches after onboarding invalidated them; drop them again
+		// so the unreachable dataset is not pinned for process lifetime.
+		engine.InvalidateIndex(tn.d)
+		dataset.InvalidateStats(tn.d)
+		writeError(w, http.StatusConflict, fmt.Sprintf("dataset %q was replaced during training; re-train against the new data", req.Dataset))
+		return
+	}
+	if s.store != nil {
+		path, err := s.store.Save(req.Dataset, schemaSignature(tn.d), m)
+		if err != nil {
+			s.zooMu.Unlock()
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("persisting %s: %v", name, err))
+			return
+		}
+		resp.Artifact = path
+	}
+	nt := cur.clone()
+	nt.models[name] = newServedModel(spec, m)
+	nt.active = name
+	state.tenants[req.Dataset] = nt
+	s.zoo.Store(state)
+	s.zooMu.Unlock()
+
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --------------------------------------------------------------- estimate
+
+type queryPayload struct {
+	Tables []int `json:"tables"`
+	Joins  []struct {
+		LeftTable  int `json:"left_table"`
+		LeftCol    int `json:"left_col"`
+		RightTable int `json:"right_table"`
+		RightCol   int `json:"right_col"`
+	} `json:"joins"`
+	Preds []struct {
+		Table int   `json:"table"`
+		Col   int   `json:"col"`
+		Lo    int64 `json:"lo"`
+		Hi    int64 `json:"hi"`
+	} `json:"preds"`
+}
+
+func (p *queryPayload) toQuery(d *dataset.Dataset) (*workload.Query, error) {
+	q := engine.Query{Tables: p.Tables}
+	for _, j := range p.Joins {
+		q.Joins = append(q.Joins, engine.Join{
+			LeftTable: j.LeftTable, LeftCol: j.LeftCol,
+			RightTable: j.RightTable, RightCol: j.RightCol,
+		})
+	}
+	for _, pr := range p.Preds {
+		q.Preds = append(q.Preds, engine.Predicate{Table: pr.Table, Col: pr.Col, Lo: pr.Lo, Hi: pr.Hi})
+	}
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("query lists no tables")
+	}
+	if err := q.Validate(d); err != nil {
+		return nil, err
+	}
+	return &workload.Query{Query: q, TrueCard: -1}, nil
+}
+
+type estimateRequest struct {
+	Dataset string `json:"dataset"`
+	// Model selects among the dataset's trained models; empty uses the
+	// most recently trained one.
+	Model   string          `json:"model"`
+	Query   *queryPayload   `json:"query"`
+	Queries []*queryPayload `json:"queries"`
+}
+
+type estimateResponse struct {
+	Dataset   string    `json:"dataset"`
+	Model     string    `json:"model"`
+	Estimate  float64   `json:"estimate,omitempty"` // single-query form
+	Estimates []float64 `json:"estimates"`
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	tn, ok := s.zoo.Load().tenants[req.Dataset]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded", req.Dataset))
+		return
+	}
+	if (req.Query == nil) == (len(req.Queries) == 0) {
+		writeError(w, http.StatusBadRequest, "provide exactly one of \"query\" or \"queries\"")
+		return
+	}
+	name := req.Model
+	if name == "" {
+		name = tn.active
+	}
+	if name == "" {
+		writeError(w, http.StatusConflict, fmt.Sprintf("dataset %q has no trained model (POST /train first)", req.Dataset))
+		return
+	}
+	sm, ok := tn.models[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no trained %q model for dataset %q", name, req.Dataset))
+		return
+	}
+
+	payloads := req.Queries
+	if req.Query != nil {
+		payloads = []*queryPayload{req.Query}
+	}
+	if len(payloads) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds %d queries", len(payloads), maxBatchQueries))
+		return
+	}
+	qs := make([]*workload.Query, len(payloads))
+	for i, p := range payloads {
+		if p == nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d is null", i))
+			return
+		}
+		q, err := p.toQuery(tn.d)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+			return
+		}
+		qs[i] = q
+	}
+
+	ests := sm.estimate(qs)
+	resp := estimateResponse{Dataset: req.Dataset, Model: name, Estimates: ests}
+	if req.Query != nil {
+		resp.Estimate = ests[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ----------------------------------------------------------------- models
+
+type modelInfo struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Candidate  bool   `json:"candidate"`
+	Concurrent bool   `json:"concurrent"`
+}
+
+type trainedInfo struct {
+	Dataset string `json:"dataset"`
+	Model   string `json:"model"`
+	Active  bool   `json:"active"`
+}
+
+type modelsResponse struct {
+	Models  []modelInfo   `json:"models"`
+	Trained []trainedInfo `json:"trained"`
+}
+
+// handleModels lists the registry and the trained models per dataset.
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := modelsResponse{Trained: []trainedInfo{}}
+	for _, spec := range ce.Specs() {
+		resp.Models = append(resp.Models, modelInfo{
+			Name: spec.Name, Kind: spec.Kind.String(),
+			Candidate: spec.Candidate, Concurrent: spec.Concurrent,
+		})
+	}
+	state := s.zoo.Load()
+	var dsNames []string
+	for name := range state.tenants {
+		dsNames = append(dsNames, name)
+	}
+	sort.Strings(dsNames)
+	for _, dn := range dsNames {
+		tn := state.tenants[dn]
+		var mNames []string
+		for mn := range tn.models {
+			mNames = append(mNames, mn)
+		}
+		sort.Strings(mNames)
+		for _, mn := range mNames {
+			resp.Trained = append(resp.Trained, trainedInfo{
+				Dataset: dn, Model: mn, Active: mn == tn.active,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

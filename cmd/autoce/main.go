@@ -135,15 +135,19 @@ func main() {
 	rec := adv.Recommend(g, *wa)
 	fmt.Printf("\nTarget %q (%d tables, %d rows), weights: %.0f%% accuracy / %.0f%% efficiency\n",
 		td.Name, td.NumTables(), td.TotalRows(), *wa*100, (1-*wa)*100)
+	// rec.Model and the score vector index the candidate set; translate
+	// through the registry's candidate mapping for display.
+	recName, _ := testbed.CandidateModelName(rec.Model)
 	fmt.Printf("Recommended CE model: %s (selected in %v)\n",
-		testbed.ModelNames[rec.Model], time.Since(sel0).Round(time.Microsecond))
+		recName, time.Since(sel0).Round(time.Microsecond))
 	fmt.Println("Averaged neighbor score vector:")
 	for i, s := range rec.Scores {
 		marker := " "
 		if i == rec.Model {
 			marker = "*"
 		}
-		fmt.Printf("  %s %-10s %.3f\n", marker, testbed.ModelNames[i], s)
+		name, _ := testbed.CandidateModelName(i)
+		fmt.Printf("  %s %-10s %.3f\n", marker, name, s)
 	}
 }
 

@@ -85,7 +85,7 @@ func main() {
 			fixedErr[m] = append(fixedErr[m], metrics.DError(sv, m))
 		}
 		fmt.Printf("  tenant %-12s (%d tables) -> %-10s (D-error %.3f)\n",
-			tn.D.Name, tn.D.NumTables(), testbed.ModelNames[rec.Model],
+			tn.D.Name, tn.D.NumTables(), testbed.CandidateModelLabel(rec.Model),
 			metrics.DError(sv, rec.Model))
 	}
 
@@ -93,6 +93,6 @@ func main() {
 		selTime.Round(time.Millisecond), metrics.Mean(advErr))
 	fmt.Println("Fleet-wide fixed-model policies for comparison (mean D-error):")
 	for m := 0; m < testbed.NumCandidates; m++ {
-		fmt.Printf("  always %-10s %.3f\n", testbed.ModelNames[m], metrics.Mean(fixedErr[m]))
+		fmt.Printf("  always %-10s %.3f\n", testbed.CandidateModelLabel(m), metrics.Mean(fixedErr[m]))
 	}
 }

@@ -61,7 +61,7 @@ func main() {
 		rec := adv.Recommend(ld.Graph, wa)
 		derr := metrics.DError(ld.Label.ScoreVector(wa), rec.Model)
 		fmt.Printf("arrival %d: %-22s drift=%-5v pick=%-10s D-error=%.3f",
-			i, ld.D.Name, drifted, testbed.ModelNames[rec.Model], derr)
+			i, ld.D.Name, drifted, testbed.CandidateModelLabel(rec.Model), derr)
 		if i < len(streamLabeled)/2 {
 			before = append(before, derr)
 			if drifted {

@@ -63,8 +63,8 @@ func main() {
 	}
 	accPick := adv.Recommend(g, 1.0).Model // accuracy-first
 	effPick := adv.Recommend(g, 0.1).Model // efficiency-first
-	fmt.Printf("accuracy-first pick:   %s\n", testbed.ModelNames[accPick])
-	fmt.Printf("efficiency-first pick: %s\n", testbed.ModelNames[effPick])
+	fmt.Printf("accuracy-first pick:   %s\n", testbed.CandidateModelLabel(accPick))
+	fmt.Printf("efficiency-first pick: %s\n", testbed.CandidateModelLabel(effPick))
 
 	// Train both picks on the target and race them through the generator
 	// loop: propose a query, estimate its cardinality, keep it when the
@@ -89,7 +89,7 @@ func main() {
 	for _, pick := range []int{accPick, effPick} {
 		kept, elapsed := race(pick)
 		fmt.Printf("generator with %-10s kept %3d/300 queries, CE time %8v (%.0f est/s)\n",
-			testbed.ModelNames[pick], kept, elapsed.Round(time.Microsecond),
+			testbed.CandidateModelLabel(pick), kept, elapsed.Round(time.Microsecond),
 			300/elapsed.Seconds())
 	}
 }

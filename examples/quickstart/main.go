@@ -68,6 +68,6 @@ func main() {
 	for _, wa := range []float64{1.0, 0.5} {
 		rec := adv.Recommend(g, wa)
 		fmt.Printf("  weights %3.0f%% accuracy / %3.0f%% efficiency -> %s\n",
-			wa*100, (1-wa)*100, testbed.ModelNames[rec.Model])
+			wa*100, (1-wa)*100, testbed.CandidateModelLabel(rec.Model))
 	}
 }

@@ -19,8 +19,10 @@ type Target struct {
 	Graph   *feature.Graph
 }
 
-// Selector recommends a CE model (testbed registry index) for a target
-// under an accuracy weight.
+// Selector recommends a CE model for a target under an accuracy weight.
+// The returned index is a candidate-set position — the index space of the
+// labels' Sa/Se score vectors (while the candidate set occupies the
+// registry prefix, this coincides with the registry index).
 type Selector interface {
 	Name() string
 	Select(t Target, wa float64) int

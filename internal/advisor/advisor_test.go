@@ -54,10 +54,10 @@ func TestRuleSelector(t *testing.T) {
 	cfg := feature.DefaultConfig()
 	rule := NewRule(2)
 	dataDriven := map[int]bool{
-		testbed.ModelDeepDB: true, testbed.ModelBayesCard: true, testbed.ModelNeuroCard: true,
+		testbed.ModelIndex("DeepDB"): true, testbed.ModelIndex("BayesCard"): true, testbed.ModelIndex("NeuroCard"): true,
 	}
 	queryDriven := map[int]bool{
-		testbed.ModelMSCN: true, testbed.ModelLWNN: true, testbed.ModelLWXGB: true,
+		testbed.ModelIndex("MSCN"): true, testbed.ModelIndex("LW-NN"): true, testbed.ModelIndex("LW-XGB"): true,
 	}
 	for _, d := range ds {
 		g, _ := feature.Extract(d, cfg)

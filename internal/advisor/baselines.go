@@ -3,6 +3,7 @@ package advisor
 import (
 	"math/rand"
 
+	"repro/internal/ce"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/feature"
@@ -12,7 +13,9 @@ import (
 
 // Rule implements the paper's rule-based selection: data-driven models for
 // single-table datasets, query-driven models for multi-table datasets,
-// chosen at random within the class.
+// chosen at random within the class. The classes are derived from the
+// registered candidate kinds, so a newly registered estimator joins its
+// class automatically.
 type Rule struct {
 	rng *rand.Rand
 }
@@ -23,14 +26,25 @@ func NewRule(seed int64) *Rule { return &Rule{rng: rand.New(rand.NewSource(seed)
 // Name implements Selector.
 func (r *Rule) Name() string { return "Rule" }
 
-// Select implements Selector.
+// Select implements Selector. The registry-derived class members are
+// translated into candidate positions, the index space the returned
+// selection shares with the label score vectors.
 func (r *Rule) Select(t Target, _ float64) int {
-	dataDriven := []int{testbed.ModelDeepDB, testbed.ModelBayesCard, testbed.ModelNeuroCard}
-	queryDriven := []int{testbed.ModelMSCN, testbed.ModelLWNN, testbed.ModelLWXGB}
+	dataDriven := candidatePositions(ce.CandidateIndexesOfKind(ce.DataDriven))
+	queryDriven := candidatePositions(ce.CandidateIndexesOfKind(ce.QueryDriven))
 	if t.Dataset.NumTables() <= 1 {
 		return dataDriven[r.rng.Intn(len(dataDriven))]
 	}
 	return queryDriven[r.rng.Intn(len(queryDriven))]
+}
+
+// candidatePositions maps registry indexes to candidate-set positions.
+func candidatePositions(registryIdx []int) []int {
+	out := make([]int, len(registryIdx))
+	for i, ri := range registryIdx {
+		out[i] = ce.CandidatePos(ri)
+	}
+	return out
 }
 
 // RawKNN implements the paper's Knn-based baseline: nearest neighbors on

@@ -1,0 +1,66 @@
+package ce
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// singleEstimator is the per-query half of Estimator, the receiver the
+// batch helpers fan out over.
+type singleEstimator interface {
+	Estimate(q *workload.Query) float64
+}
+
+// SerialEstimates implements EstimateBatch as an in-order loop — the
+// correct default for models whose inference advances internal state (the
+// progressive-sampling RNG of NeuroCard/UAE, or an ensemble containing
+// them), where the estimate stream must match per-query calls exactly.
+func SerialEstimates(e singleEstimator, qs []*workload.Query) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = e.Estimate(q)
+	}
+	return out
+}
+
+// ParallelEstimates implements EstimateBatch by fanning Estimate over a
+// GOMAXPROCS-wide worker pool. Each query's estimate is computed by the
+// unchanged per-query path, so values are bit-identical to a serial loop
+// regardless of scheduling; only models whose Estimate is safe for
+// concurrent use (Spec.Concurrent) may use it.
+func ParallelEstimates(e singleEstimator, qs []*workload.Query) []float64 {
+	out := make([]float64, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			out[i] = e.Estimate(q)
+		}
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(qs) {
+					return
+				}
+				out[i] = e.Estimate(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

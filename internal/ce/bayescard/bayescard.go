@@ -8,13 +8,24 @@
 package bayescard
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 
 	"repro/internal/ce"
-	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 4: the paper's data-driven baseline (5). Belief
+	// propagation is read-only, so inference is concurrent.
+	ce.Register(ce.Spec{
+		Rank: 4, Name: "BayesCard", Kind: ce.DataDriven, Candidate: true, Concurrent: true,
+		New: func(ce.Config) ce.Model { return New(DefaultConfig()) },
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls BN learning.
 type Config struct {
@@ -30,7 +41,7 @@ func DefaultConfig() Config { return Config{MaxBins: 16, Alpha: 0.1} }
 // Model is a trained Chow-Liu tree Bayesian network.
 type Model struct {
 	cfg    Config
-	d      *dataset.Dataset
+	bounds *ce.ColBounds
 	binner *ce.Binner
 	slots  map[[2]int]int
 	sizes  *ce.SubsetSizes
@@ -53,19 +64,18 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "BayesCard" }
 
-// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
-// precomputed join-subset sizes before training.
-func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
-
-// TrainData implements ce.DataDriven.
-func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+// Fit implements ce.Model (data-driven: consumes Dataset, Sample, and the
+// shared Sizes when provided).
+func (m *Model) Fit(in *ce.TrainInput) error {
+	d, sample := in.Dataset, in.Sample
 	if len(sample.Rows) == 0 {
 		m.degenerate = true
 		return nil
 	}
-	m.d = d
+	m.bounds = ce.NewColBounds(d)
 	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
 	m.slots = ce.ColSlots(sample)
+	m.sizes = in.Sizes
 	if m.sizes == nil {
 		m.sizes = ce.ComputeSubsetSizes(d)
 	}
@@ -252,7 +262,7 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	}
 	p := m.evidenceProb(ranges)
 	for _, pr := range unresolved {
-		p *= uniformSel(m.d, pr)
+		p *= m.bounds.UniformSel(pr)
 	}
 	est := p * float64(m.sizes.Size(q.Tables))
 	if est < 1 {
@@ -261,25 +271,48 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	return est
 }
 
-func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
-	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
-	width := float64(hi-lo) + 1
-	if width <= 0 {
-		return 1
+// EstimateBatch implements ce.Estimator with the shared parallel fan-out.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.ParallelEstimates(m, qs)
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg        Config
+	Bounds     *ce.ColBounds
+	Binner     *ce.Binner
+	Slots      map[[2]int]int
+	Sizes      *ce.SubsetSizes
+	Parent     []int
+	Prior      [][]float64
+	CPT        [][]float64
+	Children   [][]int
+	Root       int
+	Degenerate bool
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	if !m.degenerate && m.binner == nil {
+		return nil, fmt.Errorf("bayescard: cannot persist an untrained model")
 	}
-	ovLo, ovHi := p.Lo, p.Hi
-	if lo > ovLo {
-		ovLo = lo
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&modelState{
+		Cfg: m.cfg, Bounds: m.bounds, Binner: m.binner, Slots: m.slots, Sizes: m.sizes,
+		Parent: m.parent, Prior: m.prior, CPT: m.cpt, Children: m.children,
+		Root: m.root, Degenerate: m.degenerate,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("bayescard: decoding model: %w", err)
 	}
-	if hi < ovHi {
-		ovHi = hi
-	}
-	ov := float64(ovHi-ovLo) + 1
-	if ov <= 0 {
-		return 0
-	}
-	if ov > width {
-		ov = width
-	}
-	return ov / width
+	m.cfg, m.bounds, m.binner, m.slots, m.sizes = st.Cfg, st.Bounds, st.Binner, st.Slots, st.Sizes
+	m.parent, m.prior, m.cpt, m.children = st.Parent, st.Prior, st.CPT, st.Children
+	m.root, m.degenerate = st.Root, st.Degenerate
+	return nil
 }

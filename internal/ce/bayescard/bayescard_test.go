@@ -3,6 +3,7 @@ package bayescard
 import (
 	"math"
 	"math/rand"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -16,7 +17,7 @@ func trained(t *testing.T, d *dataset.Dataset, seed int64) *Model {
 	rng := rand.New(rand.NewSource(seed))
 	sample := engine.SampleJoin(d, 800, rng)
 	m := New(DefaultConfig())
-	if err := m.TrainData(d, sample); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: sample}); err != nil {
 		t.Fatal(err)
 	}
 	return m

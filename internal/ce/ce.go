@@ -1,80 +1,76 @@
-// Package ce defines the common interface of the cardinality-estimation
-// model zoo (the paper's candidate set M = {M1..Mm}) and shared helpers for
-// the data-driven estimators: column binning over join samples and
-// per-join-subset unfiltered cardinalities.
+// Package ce defines the cardinality-estimation model zoo as a pluggable
+// registry with a unified model lifecycle.
 //
-// Three training modes exist, mirroring the paper's taxonomy:
+// # Registry
 //
-//   - data-driven models (DeepDB, NeuroCard, BayesCard) learn a joint
-//     distribution from a sample of the full join of the base tables;
-//   - query-driven models (MSCN, LW-NN, LW-XGB) learn a mapping from
-//     encoded queries with true cardinalities;
-//   - hybrid models (UAE) use both.
+// Every estimator package registers a Spec (name, training Kind, candidate
+// flag, constructor) at init time; importing repro/internal/ce/zoo pulls in
+// the paper's nine baselines. Consumers — the testbed, the experiment
+// harness, the advisor baselines, the serving front-end — derive model
+// order, names, and candidate sets from the registry (Specs, Names,
+// CandidateIndexes), so onboarding a new estimator is one self-registering
+// package plus an import line in zoo.
 //
-// The PostgreSQL-style histogram estimator and the ensemble complete the
-// nine baselines of Section VII-A.
+// # Lifecycle
+//
+// A Model is trained with one call, Fit(*TrainInput), whatever its
+// training mode: the TrainInput carries the dataset, the join sample, the
+// labeled queries, and the shared subset-size table, and the Spec's Kind
+// declares which fields the model consumes (the paper's taxonomy:
+// query-driven, data-driven, hybrid, plus composite for the ensemble).
+// Trained models serve single queries (Estimate) and batches
+// (EstimateBatch, the serving hot path — vectorized or parallel where the
+// model allows, bit-identical to per-query calls), and persist through gob
+// (Persistable, SaveModel/LoadModel, Store) with bit-identical estimates
+// after a round trip — sampling-based models carry their RNG stream
+// position across the trip (RNG).
+//
+// # Shared estimator substrate
+//
+// The remainder of the package is the substrate the data-driven models
+// share: column binning over join samples (Binner), per-join-subset
+// unfiltered cardinalities (SubsetSizes), predicate-to-bin routing
+// (QueryBinRanges), and per-column value bounds for predicates outside the
+// sampled join space (ColBounds).
 package ce
 
 import (
 	"sort"
+	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
-// Estimator is a trained cardinality estimator.
-type Estimator interface {
-	// Name returns the model's short name (e.g. "MSCN").
-	Name() string
-	// Estimate returns the estimated cardinality of q (always >= 1).
-	Estimate(q *workload.Query) float64
-}
-
-// DataDriven estimators train on the dataset itself via a join sample.
-type DataDriven interface {
-	Estimator
-	TrainData(d *dataset.Dataset, sample *engine.JoinSample) error
-}
-
-// QueryDriven estimators train on labeled queries.
-type QueryDriven interface {
-	Estimator
-	TrainQueries(d *dataset.Dataset, train []*workload.Query) error
-}
-
-// Hybrid estimators train on both the data and labeled queries.
-type Hybrid interface {
-	Estimator
-	TrainBoth(d *dataset.Dataset, sample *engine.JoinSample, train []*workload.Query) error
-}
-
-// SizeAware is implemented by data-driven estimators that can accept a
-// precomputed SubsetSizes, letting the testbed share one computation across
-// the model zoo instead of each model enumerating join subsets itself.
-type SizeAware interface {
-	SetSubsetSizes(*SubsetSizes)
-}
-
-// SubsetKey canonically identifies a set of table indexes.
+// SubsetKey canonically identifies a set of table indexes: sorted,
+// decimal-encoded, comma-terminated. The variable-width encoding is
+// unambiguous for any table count (a fixed two-digit scheme silently
+// collided once indexes passed two digits).
 func SubsetKey(tables []int) string {
 	s := append([]int(nil), tables...)
 	sort.Ints(s)
-	key := make([]byte, 0, len(s)*3)
+	key := make([]byte, 0, len(s)*4)
 	for _, t := range s {
-		key = append(key, byte('0'+t/10), byte('0'+t%10), ',')
+		key = strconv.AppendInt(key, int64(t), 10)
+		key = append(key, ',')
 	}
 	return string(key)
 }
 
-// SubsetSizes maps every connected table subset of d to its unfiltered
-// join cardinality. Data-driven estimators scale their learned join-space
-// selectivities by these sizes to answer queries over partial joins; the
-// original systems achieve the same with fanout bookkeeping, which this
-// precomputation substitutes at our scale.
+// SubsetSizes maps every connected table subset of a dataset to its
+// unfiltered join cardinality. Data-driven estimators scale their learned
+// join-space selectivities by these sizes to answer queries over partial
+// joins; the original systems achieve the same with fanout bookkeeping,
+// which this precomputation substitutes at our scale. The fields are
+// exported (and the dataset reduced to its row counts) so the table
+// serializes inside model artifacts.
 type SubsetSizes struct {
-	sizes map[string]int64
-	d     *dataset.Dataset
+	// Sizes maps SubsetKey(tables) to the subset's unfiltered join size.
+	Sizes map[string]int64
+	// TableRows holds per-table row counts, the fallback factor for
+	// subsets that were not precomputed (disconnected table sets).
+	TableRows []int64
 }
 
 // ComputeSubsetSizes enumerates the connected subsets of d's join graph
@@ -83,7 +79,10 @@ type SubsetSizes struct {
 // join index: unfiltered acyclic counts reduce to lookups over the
 // prehashed per-value multiplicities.
 func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
-	ss := &SubsetSizes{sizes: map[string]int64{}, d: d}
+	ss := &SubsetSizes{Sizes: map[string]int64{}, TableRows: make([]int64, len(d.Tables))}
+	for ti, t := range d.Tables {
+		ss.TableRows[ti] = int64(t.Rows())
+	}
 	ev := engine.NewEvaluator(d)
 	n := len(d.Tables)
 	for mask := 1; mask < 1<<uint(n); mask++ {
@@ -105,7 +104,7 @@ func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
 				})
 			}
 		}
-		ss.sizes[SubsetKey(tables)] = ev.Cardinality(q)
+		ss.Sizes[SubsetKey(tables)] = ev.Cardinality(q)
 	}
 	return ss
 }
@@ -114,12 +113,12 @@ func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
 // subset was not precomputed (disconnected), it falls back to the product
 // of base-table sizes.
 func (ss *SubsetSizes) Size(tables []int) int64 {
-	if v, ok := ss.sizes[SubsetKey(tables)]; ok {
+	if v, ok := ss.Sizes[SubsetKey(tables)]; ok {
 		return v
 	}
 	prod := int64(1)
 	for _, t := range tables {
-		prod *= int64(ss.d.Tables[t].Rows())
+		prod *= ss.TableRows[t]
 	}
 	return prod
 }
@@ -157,6 +156,53 @@ func connected(d *dataset.Dataset, tables []int) bool {
 		}
 	}
 	return len(seen) == len(tables)
+}
+
+// ColBounds snapshots every column's value range — the only per-dataset
+// state the data-driven estimators need at inference time for predicates
+// on columns outside the sampled join space (keys and FK columns), kept
+// separate from the dataset so it serializes inside model artifacts.
+type ColBounds struct {
+	// Lo and Hi are indexed [table][col].
+	Lo, Hi [][]int64
+}
+
+// NewColBounds captures the bounds of every column of d.
+func NewColBounds(d *dataset.Dataset) *ColBounds {
+	b := &ColBounds{Lo: make([][]int64, len(d.Tables)), Hi: make([][]int64, len(d.Tables))}
+	for ti, t := range d.Tables {
+		b.Lo[ti] = make([]int64, t.NumCols())
+		b.Hi[ti] = make([]int64, t.NumCols())
+		for ci, c := range t.Cols {
+			b.Lo[ti][ci], b.Hi[ti][ci] = c.MinMax()
+		}
+	}
+	return b
+}
+
+// UniformSel returns the uniform-selectivity fallback of predicate p: the
+// fraction of the column's value range the predicate interval overlaps.
+func (b *ColBounds) UniformSel(p engine.Predicate) float64 {
+	lo, hi := b.Lo[p.Table][p.Col], b.Hi[p.Table][p.Col]
+	width := float64(hi-lo) + 1
+	if width <= 0 {
+		return 1
+	}
+	ovLo, ovHi := p.Lo, p.Hi
+	if lo > ovLo {
+		ovLo = lo
+	}
+	if hi < ovHi {
+		ovHi = hi
+	}
+	ov := float64(ovHi-ovLo) + 1
+	if ov <= 0 {
+		return 0
+	}
+	if ov > width {
+		ov = width
+	}
+	return ov / width
 }
 
 // Binner discretizes the columns of a join sample into small integer bins;

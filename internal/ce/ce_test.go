@@ -39,6 +39,38 @@ func TestSubsetKeyCanonical(t *testing.T) {
 	}
 }
 
+// The historical fixed-two-digit encoding (byte('0'+t/10)) silently
+// collided once table indexes left the two-digit range; the variable-width
+// encoding must keep every subset distinct and unambiguous.
+func TestSubsetKeyWideIndexes(t *testing.T) {
+	// Singletons over a wide index range are pairwise distinct.
+	seen := map[string]int{}
+	for ti := 0; ti < 3000; ti++ {
+		key := SubsetKey([]int{ti})
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("indexes %d and %d share key %q", prev, ti, key)
+		}
+		seen[key] = ti
+	}
+	// Concatenation stays unambiguous: {1,23} vs {12,3} vs {123}.
+	keys := []string{
+		SubsetKey([]int{1, 23}),
+		SubsetKey([]int{12, 3}),
+		SubsetKey([]int{123}),
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[i] == keys[j] {
+				t.Fatalf("ambiguous keys: %q == %q", keys[i], keys[j])
+			}
+		}
+	}
+	// Multi-element sets with three-digit members, the regression case.
+	if SubsetKey([]int{100, 205}) == SubsetKey([]int{100, 206}) {
+		t.Fatal("three-digit members collide")
+	}
+}
+
 func TestComputeSubsetSizesMatchesEngine(t *testing.T) {
 	d, _ := sampleFixture(t, 3, 7)
 	ss := ComputeSubsetSizes(d)

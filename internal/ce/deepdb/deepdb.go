@@ -10,14 +10,29 @@
 package deepdb
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/ce"
-	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 3: the paper's data-driven baseline (4). SPN
+	// evaluation is read-only, so inference is concurrent.
+	ce.Register(ce.Spec{
+		Rank: 3, Name: "DeepDB", Kind: ce.DataDriven, Candidate: true, Concurrent: true,
+		New: func(c ce.Config) ce.Model {
+			cfg := DefaultConfig()
+			cfg.Seed = c.Seed + 13
+			return New(cfg)
+		},
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls SPN learning.
 type Config struct {
@@ -87,7 +102,7 @@ func (s *sum) prob(ranges map[int][2]int) float64 {
 // Model is a trained DeepDB-style SPN estimator.
 type Model struct {
 	cfg    Config
-	d      *dataset.Dataset
+	bounds *ce.ColBounds
 	binner *ce.Binner
 	slots  map[[2]int]int
 	sizes  *ce.SubsetSizes
@@ -102,12 +117,10 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "DeepDB" }
 
-// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
-// precomputed join-subset sizes before training.
-func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
-
-// TrainData implements ce.DataDriven.
-func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+// Fit implements ce.Model (data-driven: consumes Dataset, Sample, and the
+// shared Sizes when provided).
+func (m *Model) Fit(in *ce.TrainInput) error {
+	d, sample := in.Dataset, in.Sample
 	if len(sample.Rows) == 0 {
 		// Degenerate dataset (e.g. an aggressively sampled copy whose
 		// full join is empty): fall back to an estimator that always
@@ -115,9 +128,10 @@ func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
 		m.degenerate = true
 		return nil
 	}
-	m.d = d
+	m.bounds = ce.NewColBounds(d)
 	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
 	m.slots = ce.ColSlots(sample)
+	m.sizes = in.Sizes
 	if m.sizes == nil {
 		m.sizes = ce.ComputeSubsetSizes(d)
 	}
@@ -352,7 +366,7 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	// Predicates on key/FK columns (outside the join-space model) fall
 	// back to uniform selectivity over the column range.
 	for _, pr := range unresolved {
-		p *= uniformSel(m.d, pr)
+		p *= m.bounds.UniformSel(pr)
 	}
 	est := p * float64(m.sizes.Size(q.Tables))
 	if est < 1 {
@@ -361,33 +375,134 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	return est
 }
 
-func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
-	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
-	width := float64(hi-lo) + 1
-	if width <= 0 {
-		return 1
-	}
-	ov := float64(minI64(p.Hi, hi)-maxI64(p.Lo, lo)) + 1
-	if ov <= 0 {
-		return 0
-	}
-	sel := ov / width
-	if sel > 1 {
-		return 1
-	}
-	return sel
+// EstimateBatch implements ce.Estimator with the shared parallel fan-out.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.ParallelEstimates(m, qs)
 }
 
-func minI64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+// spnNode is the flattened gob form of one SPN node; children always
+// precede their parent, and the last node is the root.
+type spnNode struct {
+	Kind     int // 0 leaf, 1 product, 2 sum
+	Col      int
+	Dist     []float64
+	Children []int
+	Weights  []float64
 }
 
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
+// flattenSPN serializes the node tree into post-order.
+func flattenSPN(n node, out []spnNode) ([]spnNode, int) {
+	switch t := n.(type) {
+	case *leaf:
+		out = append(out, spnNode{Kind: 0, Col: t.col, Dist: t.dist})
+	case *product:
+		var kids []int
+		for _, c := range t.children {
+			var ci int
+			out, ci = flattenSPN(c, out)
+			kids = append(kids, ci)
+		}
+		out = append(out, spnNode{Kind: 1, Children: kids})
+	case *sum:
+		var kids []int
+		for _, c := range t.children {
+			var ci int
+			out, ci = flattenSPN(c, out)
+			kids = append(kids, ci)
+		}
+		out = append(out, spnNode{Kind: 2, Children: kids, Weights: t.weights})
 	}
-	return b
+	return out, len(out) - 1
+}
+
+// buildSPN reconstructs the node tree from its post-order flattening.
+func buildSPN(nodes []spnNode) (node, error) {
+	built := make([]node, len(nodes))
+	for i, sn := range nodes {
+		children := func() ([]node, error) {
+			out := make([]node, len(sn.Children))
+			for j, ci := range sn.Children {
+				if ci < 0 || ci >= i {
+					return nil, fmt.Errorf("deepdb: SPN node %d references child %d", i, ci)
+				}
+				out[j] = built[ci]
+			}
+			return out, nil
+		}
+		switch sn.Kind {
+		case 0:
+			built[i] = &leaf{col: sn.Col, dist: sn.Dist}
+		case 1:
+			kids, err := children()
+			if err != nil {
+				return nil, err
+			}
+			built[i] = &product{children: kids}
+		case 2:
+			kids, err := children()
+			if err != nil {
+				return nil, err
+			}
+			if len(sn.Weights) != len(kids) {
+				return nil, fmt.Errorf("deepdb: SPN sum node %d has %d weights for %d children",
+					i, len(sn.Weights), len(kids))
+			}
+			built[i] = &sum{children: kids, weights: sn.Weights}
+		default:
+			return nil, fmt.Errorf("deepdb: SPN node %d has unknown kind %d", i, sn.Kind)
+		}
+	}
+	if len(built) == 0 {
+		return nil, fmt.Errorf("deepdb: empty SPN")
+	}
+	return built[len(built)-1], nil
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg        Config
+	Bounds     *ce.ColBounds
+	Binner     *ce.Binner
+	Slots      map[[2]int]int
+	Sizes      *ce.SubsetSizes
+	Nodes      []spnNode
+	Degenerate bool
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	st := &modelState{
+		Cfg: m.cfg, Bounds: m.bounds, Binner: m.binner, Slots: m.slots,
+		Sizes: m.sizes, Degenerate: m.degenerate,
+	}
+	if m.degenerate {
+		// A degenerate model carries no learned structure.
+		st.Bounds, st.Binner, st.Sizes = nil, nil, nil
+	} else if m.root == nil {
+		return nil, fmt.Errorf("deepdb: cannot persist an untrained model")
+	} else {
+		st.Nodes, _ = flattenSPN(m.root, nil)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(st)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("deepdb: decoding model: %w", err)
+	}
+	m.cfg, m.bounds, m.binner, m.slots = st.Cfg, st.Bounds, st.Binner, st.Slots
+	m.sizes, m.degenerate = st.Sizes, st.Degenerate
+	m.root = nil
+	if !st.Degenerate {
+		root, err := buildSPN(st.Nodes)
+		if err != nil {
+			return err
+		}
+		m.root = root
+	}
+	return nil
 }

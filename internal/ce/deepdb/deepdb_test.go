@@ -3,6 +3,7 @@ package deepdb
 import (
 	"math"
 	"math/rand"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -16,7 +17,7 @@ func trained(t *testing.T, d *dataset.Dataset, seed int64) *Model {
 	rng := rand.New(rand.NewSource(seed))
 	sample := engine.SampleJoin(d, 800, rng)
 	m := New(DefaultConfig())
-	if err := m.TrainData(d, sample); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: sample}); err != nil {
 		t.Fatal(err)
 	}
 	return m
@@ -114,7 +115,7 @@ func TestSPNBuildsSumAndProductNodes(t *testing.T) {
 func TestDegenerateSampleFallsBack(t *testing.T) {
 	d := singleTable(t, 9)
 	m := New(DefaultConfig())
-	if err := m.TrainData(d, &engine.JoinSample{}); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: &engine.JoinSample{}}); err != nil {
 		t.Fatal(err)
 	}
 	q := &workload.Query{Query: engine.Query{Tables: []int{0}}}

@@ -1,14 +1,33 @@
 // Package ensemble implements the paper's baseline (8): an ensemble
 // estimator returning the weighted average of all member estimates, with
-// weights proportional to each member's accuracy on the training workload
-// (inverse mean Q-error).
+// weights proportional to each member's accuracy on the calibration
+// workload (inverse mean Q-error).
+//
+// It registers as the zoo's one Composite model: Fit consumes the trained
+// Members (the candidate set) plus calibration Queries, so the testbed
+// fits it after the independent training jobs drain.
 package ensemble
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
 	"repro/internal/ce"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 8: measured for the figure/table comparisons but not a
+	// selection candidate. Members may be sampling-based (stateful
+	// inference), so the ensemble is not concurrent.
+	ce.Register(ce.Spec{
+		Rank: 8, Name: "Ensemble", Kind: ce.Composite, Candidate: false, Concurrent: false,
+		New: func(ce.Config) ce.Model { return New() },
+	})
+	gob.Register(&Model{})
+}
 
 // Model combines trained member estimators.
 type Model struct {
@@ -16,19 +35,29 @@ type Model struct {
 	weights []float64
 }
 
-// New builds an ensemble over the (already trained) members, weighting
-// each by the inverse of its mean Q-error on the calibration queries.
-// With no calibration queries, members are weighted equally.
-func New(members []ce.Estimator, calibration []*workload.Query) *Model {
-	m := &Model{members: members, weights: make([]float64, len(members))}
+// New returns an uncalibrated ensemble.
+func New() *Model { return &Model{} }
+
+// Fit implements ce.Model (composite: consumes Members and Queries). Each
+// member is weighted by the inverse of its mean Q-error on the calibration
+// queries, in member order — sampling-based members advance their RNG
+// streams exactly as a sequence of per-member Estimate loops would. With
+// no calibration queries, members are weighted equally.
+func (m *Model) Fit(in *ce.TrainInput) error {
+	if len(in.Members) == 0 {
+		return fmt.Errorf("ensemble: no trained members to combine")
+	}
+	m.members = in.Members
+	m.weights = make([]float64, len(in.Members))
+	calibration := in.Queries
 	if len(calibration) == 0 {
 		for i := range m.weights {
 			m.weights[i] = 1
 		}
-		return m
+		return nil
 	}
 	var total float64
-	for i, mem := range members {
+	for i, mem := range in.Members {
 		ests := make([]float64, len(calibration))
 		truths := make([]float64, len(calibration))
 		for qi, q := range calibration {
@@ -42,7 +71,7 @@ func New(members []ce.Estimator, calibration []*workload.Query) *Model {
 	for i := range m.weights {
 		m.weights[i] /= total
 	}
-	return m
+	return nil
 }
 
 // Name implements ce.Estimator.
@@ -66,5 +95,44 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	return est
 }
 
+// EstimateBatch implements ce.Estimator sequentially: members may be
+// sampling-based models whose estimate streams must stay in per-query
+// order.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.SerialEstimates(m, qs)
+}
+
 // Weights exposes the calibrated member weights (for tests and reports).
 func (m *Model) Weights() []float64 { return append([]float64(nil), m.weights...) }
+
+// modelState is the gob form of a calibrated ensemble. Members serialize
+// as gob interface values; every registered model calls gob.Register on
+// its concrete type at init, so the artifact embeds the members' own
+// encodings (including their RNG stream positions).
+type modelState struct {
+	Members []ce.Estimator
+	Weights []float64
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	if len(m.members) == 0 {
+		return nil, fmt.Errorf("ensemble: cannot persist an uncalibrated ensemble")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&modelState{Members: m.members, Weights: m.weights})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("ensemble: decoding model: %w", err)
+	}
+	if len(st.Members) != len(st.Weights) {
+		return fmt.Errorf("ensemble: %d members for %d weights", len(st.Members), len(st.Weights))
+	}
+	m.members, m.weights = st.Members, st.Weights
+	return nil
+}

@@ -7,18 +7,19 @@
 // product nodes — avoiding both the SPN's deep sum hierarchies and the
 // full joint's blow-up.
 //
-// This estimator is not part of the default nine-model registry (which
-// mirrors the paper's evaluation); it exists to exercise the testbed's
-// extensibility path (testbed.RunWithModels) exactly as the paper
-// describes onboarding a newly emerged model.
+// This estimator deliberately does not register itself in the default
+// nine-model registry (which mirrors the paper's evaluation); it exists to
+// exercise the testbed's extensibility path (testbed.RunWithModels)
+// exactly as the paper describes onboarding a newly emerged model. To
+// promote a model like this into the zoo, add a ce.Register call in an
+// init function (see any registered model package) and import the package
+// from repro/internal/ce/zoo.
 package flat
 
 import (
 	"math"
 
 	"repro/internal/ce"
-	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -54,7 +55,7 @@ type group struct {
 // Model is a trained FLAT-style estimator.
 type Model struct {
 	cfg    Config
-	d      *dataset.Dataset
+	bounds *ce.ColBounds
 	binner *ce.Binner
 	slots  map[[2]int]int
 	sizes  *ce.SubsetSizes
@@ -69,18 +70,18 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "FLAT" }
 
-// SetSubsetSizes implements ce.SizeAware.
-func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
-
-// TrainData implements ce.DataDriven.
-func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+// Fit implements ce.Model (data-driven: consumes Dataset, Sample, and the
+// shared Sizes when provided).
+func (m *Model) Fit(in *ce.TrainInput) error {
+	d, sample := in.Dataset, in.Sample
 	if len(sample.Rows) == 0 {
 		m.degenerate = true
 		return nil
 	}
-	m.d = d
+	m.bounds = ce.NewColBounds(d)
 	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
 	m.slots = ce.ColSlots(sample)
+	m.sizes = in.Sizes
 	if m.sizes == nil {
 		m.sizes = ce.ComputeSubsetSizes(d)
 	}
@@ -214,13 +215,19 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 		p *= g.prob(ranges, m.cfg.Alpha)
 	}
 	for _, pr := range unresolved {
-		p *= uniformSel(m.d, pr)
+		p *= m.bounds.UniformSel(pr)
 	}
 	est := p * float64(m.sizes.Size(q.Tables))
 	if est < 1 {
 		return 1
 	}
 	return est
+}
+
+// EstimateBatch implements ce.Estimator with the shared parallel fan-out
+// (group evaluation is read-only).
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.ParallelEstimates(m, qs)
 }
 
 // NumGroups exposes the factorization width for tests.
@@ -247,27 +254,4 @@ func pairMI(rows [][]int, a, b, na, nb int) float64 {
 		}
 	}
 	return mi
-}
-
-func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
-	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
-	width := float64(hi-lo) + 1
-	if width <= 0 {
-		return 1
-	}
-	ovLo, ovHi := p.Lo, p.Hi
-	if lo > ovLo {
-		ovLo = lo
-	}
-	if hi < ovHi {
-		ovHi = hi
-	}
-	ov := float64(ovHi-ovLo) + 1
-	if ov <= 0 {
-		return 0
-	}
-	if ov > width {
-		ov = width
-	}
-	return ov / width
 }

@@ -3,6 +3,7 @@ package flat
 import (
 	"math"
 	"math/rand"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -17,7 +18,7 @@ func trained(t *testing.T, d *dataset.Dataset, seed int64) *Model {
 	rng := rand.New(rand.NewSource(seed))
 	sample := engine.SampleJoin(d, 800, rng)
 	m := New(DefaultConfig())
-	if err := m.TrainData(d, sample); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: sample}); err != nil {
 		t.Fatal(err)
 	}
 	return m
@@ -125,7 +126,7 @@ func TestDegenerateSample(t *testing.T) {
 	p.MinRows, p.MaxRows = 100, 150
 	d, _ := datagen.Generate("f", p)
 	m := New(DefaultConfig())
-	if err := m.TrainData(d, &engine.JoinSample{}); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: &engine.JoinSample{}}); err != nil {
 		t.Fatal(err)
 	}
 	q := &workload.Query{Query: engine.Query{Tables: []int{0}}}

@@ -6,13 +6,31 @@
 package lwnn
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/dataset"
+	"repro/internal/ce"
 	"repro/internal/nn"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 1: the paper's query-driven baseline (2).
+	ce.Register(ce.Spec{
+		Rank: 1, Name: "LW-NN", Kind: ce.QueryDriven, Candidate: true, Concurrent: true,
+		New: func(c ce.Config) ce.Model {
+			cfg := DefaultConfig()
+			if c.Fast {
+				cfg.Epochs = 8
+			}
+			cfg.Seed = c.Seed + 12
+			return New(cfg)
+		},
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls LW-NN training.
 type Config struct {
@@ -39,15 +57,16 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "LW-NN" }
 
-// TrainQueries implements ce.QueryDriven. Queries are encoded once, and
-// the minibatch training graph is recorded once per batch size and
-// replayed every step (see nn.Tape).
-func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
+// Fit implements ce.Model (query-driven: consumes Dataset and Queries).
+// Queries are encoded once, and the minibatch training graph is recorded
+// once per batch size and replayed every step (see nn.Tape).
+func (m *Model) Fit(in *ce.TrainInput) error {
+	train := in.Queries
 	if len(train) == 0 {
 		return fmt.Errorf("lwnn: empty training workload")
 	}
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
-	m.enc = workload.NewEncoder(d)
+	m.enc = workload.NewEncoder(in.Dataset)
 	dim := m.enc.Dim()
 	m.net = nn.NewMLP(rng, []int{dim, m.cfg.Hidden1, m.cfg.Hidden2, 1}, nn.ActReLU, nn.ActNone)
 	opt := nn.NewAdam(m.net.Params(), m.cfg.LR)
@@ -95,4 +114,52 @@ func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error 
 func (m *Model) Estimate(q *workload.Query) float64 {
 	x := nn.FromRow(m.enc.Encode(q))
 	return workload.ExpCard(m.net.Forward(x).Scalar())
+}
+
+// EstimateBatch implements ce.Estimator as one vectorized forward pass:
+// the batch is encoded into a single matrix and the network runs once.
+// The dense kernels compute each output row from its input row alone, so
+// every estimate is bit-identical to a per-query Estimate.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	if len(qs) == 0 {
+		return nil
+	}
+	dim := m.enc.Dim()
+	x := nn.Zeros(len(qs), dim)
+	for i, q := range qs {
+		copy(x.V[i*dim:(i+1)*dim], m.enc.Encode(q))
+	}
+	out := m.net.Forward(x)
+	ests := make([]float64, len(qs))
+	for i := range ests {
+		ests[i] = workload.ExpCard(out.V[i])
+	}
+	return ests
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg Config
+	Enc *workload.Encoder
+	Net *nn.MLP
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	if m.net == nil {
+		return nil, fmt.Errorf("lwnn: cannot persist an untrained model")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&modelState{Cfg: m.cfg, Enc: m.enc, Net: m.net})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("lwnn: decoding model: %w", err)
+	}
+	m.cfg, m.enc, m.net = st.Cfg, st.Enc, st.Net
+	return nil
 }

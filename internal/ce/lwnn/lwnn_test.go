@@ -1,6 +1,7 @@
 package lwnn
 
 import (
+	"repro/internal/ce"
 	"testing"
 	"time"
 
@@ -30,12 +31,12 @@ func TestTrainingImproves(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Epochs = 0
 	untrained := New(cfg)
-	if err := untrained.TrainQueries(d, train); err != nil {
+	if err := untrained.Fit(&ce.TrainInput{Dataset: d, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Epochs = 20
 	trained := New(cfg)
-	if err := trained.TrainQueries(d, train); err != nil {
+	if err := trained.Fit(&ce.TrainInput{Dataset: d, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	if eval(trained) >= eval(untrained) {
@@ -54,7 +55,7 @@ func TestInferenceIsFast(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Epochs = 3
 	m := New(cfg)
-	if err := m.TrainQueries(d, qs); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Queries: qs}); err != nil {
 		t.Fatal(err)
 	}
 	t0 := time.Now()
@@ -72,7 +73,7 @@ func TestEmptyWorkloadRejected(t *testing.T) {
 	p := datagen.DefaultParams(6)
 	p.MinRows, p.MaxRows = 100, 150
 	d, _ := datagen.Generate("l", p)
-	if err := New(DefaultConfig()).TrainQueries(d, nil); err == nil {
+	if err := New(DefaultConfig()).Fit(&ce.TrainInput{Dataset: d, Queries: nil}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }

@@ -4,12 +4,30 @@
 package lwxgb
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
-	"repro/internal/dataset"
+	"repro/internal/ce"
 	"repro/internal/gbt"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 2: the paper's query-driven baseline (3). Tree
+	// traversal is read-only, so inference is concurrent.
+	ce.Register(ce.Spec{
+		Rank: 2, Name: "LW-XGB", Kind: ce.QueryDriven, Candidate: true, Concurrent: true,
+		New: func(c ce.Config) ce.Model {
+			cfg := DefaultConfig()
+			if c.Fast {
+				cfg.GBT.Rounds = 20
+			}
+			return New(cfg)
+		},
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls LW-XGB training; it wraps the boosting configuration.
 type Config struct {
@@ -32,12 +50,13 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "LW-XGB" }
 
-// TrainQueries implements ce.QueryDriven.
-func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
+// Fit implements ce.Model (query-driven: consumes Dataset and Queries).
+func (m *Model) Fit(in *ce.TrainInput) error {
+	train := in.Queries
 	if len(train) == 0 {
 		return fmt.Errorf("lwxgb: empty training workload")
 	}
-	m.enc = workload.NewEncoder(d)
+	m.enc = workload.NewEncoder(in.Dataset)
 	xs := make([][]float64, len(train))
 	ys := make([]float64, len(train))
 	for i, q := range train {
@@ -55,4 +74,36 @@ func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error 
 // Estimate implements ce.Estimator.
 func (m *Model) Estimate(q *workload.Query) float64 {
 	return workload.ExpCard(m.ens.Predict(m.enc.Encode(q)))
+}
+
+// EstimateBatch implements ce.Estimator with the shared parallel fan-out.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.ParallelEstimates(m, qs)
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg Config
+	Enc *workload.Encoder
+	Ens *gbt.Ensemble
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	if m.ens == nil {
+		return nil, fmt.Errorf("lwxgb: cannot persist an untrained model")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&modelState{Cfg: m.cfg, Enc: m.enc, Ens: m.ens})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("lwxgb: decoding model: %w", err)
+	}
+	m.cfg, m.enc, m.ens = st.Cfg, st.Enc, st.Ens
+	return nil
 }

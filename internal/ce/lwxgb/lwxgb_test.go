@@ -2,6 +2,7 @@ package lwxgb
 
 import (
 	"math"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -20,7 +21,7 @@ func TestTrainAndEstimate(t *testing.T) {
 	qs := workload.Generate(d, workload.DefaultConfig(150, 2))
 	train, test := workload.Split(qs, 0.6, 3)
 	m := New(DefaultConfig())
-	if err := m.TrainQueries(d, train); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	ests := make([]float64, len(test))
@@ -54,7 +55,7 @@ func TestMoreRoundsDoNotHurtTrainingFit(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.GBT.Rounds = rounds
 		m := New(cfg)
-		if err := m.TrainQueries(d, qs); err != nil {
+		if err := m.Fit(&ce.TrainInput{Dataset: d, Queries: qs}); err != nil {
 			t.Fatal(err)
 		}
 		ests := make([]float64, len(qs))
@@ -76,7 +77,7 @@ func TestEmptyWorkloadRejected(t *testing.T) {
 	p := datagen.DefaultParams(6)
 	p.MinRows, p.MaxRows = 100, 150
 	d, _ := datagen.Generate("x", p)
-	if err := New(DefaultConfig()).TrainQueries(d, nil); err == nil {
+	if err := New(DefaultConfig()).Fit(&ce.TrainInput{Dataset: d, Queries: nil}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }

@@ -61,20 +61,18 @@ func makeFixture(t *testing.T, tables int, seed int64) *fixture {
 	}
 }
 
-func trainModel(t *testing.T, m ce.Estimator, f *fixture) {
-	t.Helper()
-	var err error
-	switch tm := m.(type) {
-	case ce.Hybrid:
-		err = tm.TrainBoth(f.d, f.sample, f.train)
-	case ce.DataDriven:
-		err = tm.TrainData(f.d, f.sample)
-	case ce.QueryDriven:
-		err = tm.TrainQueries(f.d, f.train)
-	default:
-		t.Fatalf("%s implements no training interface", m.Name())
+func asEstimators(models []ce.Model) []ce.Estimator {
+	out := make([]ce.Estimator, len(models))
+	for i, m := range models {
+		out[i] = m
 	}
-	if err != nil {
+	return out
+}
+
+func trainModel(t *testing.T, m ce.Model, f *fixture) {
+	t.Helper()
+	in := &ce.TrainInput{Dataset: f.d, Sample: f.sample, Queries: f.train}
+	if err := m.Fit(in); err != nil {
 		t.Fatalf("training %s: %v", m.Name(), err)
 	}
 }
@@ -99,7 +97,7 @@ func blindQError(qs []*workload.Query) float64 {
 	return metrics.MeanQError(ests, truths)
 }
 
-func zoo(seed int64) []ce.Estimator {
+func zoo(seed int64) []ce.Model {
 	mc := mscn.DefaultConfig()
 	mc.Epochs = 10
 	lc := lwnn.DefaultConfig()
@@ -109,7 +107,7 @@ func zoo(seed int64) []ce.Estimator {
 	uc := uae.DefaultConfig()
 	uc.Epochs = 3
 	uc.CorrEpochs = 8
-	return []ce.Estimator{
+	return []ce.Model{
 		mscn.New(mc),
 		lwnn.New(lc),
 		lwxgb.New(lwxgb.DefaultConfig()),
@@ -163,7 +161,11 @@ func TestEnsembleBetweenMembers(t *testing.T) {
 	for _, m := range members {
 		trainModel(t, m, f)
 	}
-	ens := ensemble.New(members, f.train[:30])
+	ens := ensemble.New()
+	calib := append([]*workload.Query(nil), f.train[:30]...)
+	if err := ens.Fit(&ce.TrainInput{Members: asEstimators(members), Queries: calib}); err != nil {
+		t.Fatal(err)
+	}
 	w := ens.Weights()
 	var sum float64
 	for _, x := range w {
@@ -196,7 +198,10 @@ func TestEnsembleEqualWeightsWithoutCalibration(t *testing.T) {
 	for _, m := range members {
 		trainModel(t, m, f)
 	}
-	ens := ensemble.New(members, nil)
+	ens := ensemble.New()
+	if err := ens.Fit(&ce.TrainInput{Members: asEstimators(members)}); err != nil {
+		t.Fatal(err)
+	}
 	w := ens.Weights()
 	if w[0] != w[1] {
 		t.Fatalf("uncalibrated weights %v", w)
@@ -207,7 +212,7 @@ func TestDataDrivenMonotoneInRangeWidth(t *testing.T) {
 	// Widening a single predicate's range must not decrease the estimate
 	// for the closed-form data-driven models (DeepDB, BayesCard).
 	f := makeFixture(t, 1, 500)
-	models := []ce.Estimator{deepdb.New(deepdb.DefaultConfig()), bayescard.New(bayescard.DefaultConfig())}
+	models := []ce.Model{deepdb.New(deepdb.DefaultConfig()), bayescard.New(bayescard.DefaultConfig())}
 	for _, m := range models {
 		trainModel(t, m, f)
 	}
@@ -238,7 +243,7 @@ func TestUnfilteredQueryNearFullSize(t *testing.T) {
 		Tables: []int{0},
 		Preds:  []engine.Predicate{{Table: 0, Col: 0, Lo: lo, Hi: hi}},
 	}}
-	for _, m := range []ce.Estimator{deepdb.New(deepdb.DefaultConfig()), bayescard.New(bayescard.DefaultConfig())} {
+	for _, m := range []ce.Model{deepdb.New(deepdb.DefaultConfig()), bayescard.New(bayescard.DefaultConfig())} {
 		trainModel(t, m, f)
 		est := m.Estimate(q)
 		if est < rows*0.8 || est > rows*1.2 {

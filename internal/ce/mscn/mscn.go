@@ -7,13 +7,32 @@
 package mscn
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 
-	"repro/internal/dataset"
+	"repro/internal/ce"
 	"repro/internal/nn"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 0: the paper's query-driven baseline (1). Estimate is a
+	// pure forward pass over frozen weights, so inference is concurrent.
+	ce.Register(ce.Spec{
+		Rank: 0, Name: "MSCN", Kind: ce.QueryDriven, Candidate: true, Concurrent: true,
+		New: func(c ce.Config) ce.Model {
+			cfg := DefaultConfig()
+			if c.Fast {
+				cfg.Epochs = 6
+			}
+			cfg.Seed = c.Seed + 11
+			return New(cfg)
+		},
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls MSCN training.
 type Config struct {
@@ -28,7 +47,7 @@ type Config struct {
 // Adam step) rather than the historical per-query stepping.
 func DefaultConfig() Config { return Config{Hidden: 32, Epochs: 24, LR: 1e-2, Seed: 1} }
 
-// trainBatch is the minibatch size of TrainQueries.
+// trainBatch is the minibatch size of Fit.
 const trainBatch = 8
 
 // Model is a trained MSCN estimator for one dataset.
@@ -165,15 +184,16 @@ type batchTape struct {
 	tape       *nn.Tape
 }
 
-// TrainQueries implements ce.QueryDriven: true minibatch training over
-// padded set matrices, with the graph recorded once per batch size and
-// replayed every step.
-func (m *Model) TrainQueries(d *dataset.Dataset, train []*workload.Query) error {
+// Fit implements ce.Model (query-driven: consumes Dataset and Queries):
+// true minibatch training over padded set matrices, with the graph
+// recorded once per batch size and replayed every step.
+func (m *Model) Fit(in *ce.TrainInput) error {
+	train := in.Queries
 	if len(train) == 0 {
 		return fmt.Errorf("mscn: empty training workload")
 	}
 	rng := rand.New(rand.NewSource(m.cfg.Seed))
-	m.enc = workload.NewEncoder(d)
+	m.enc = workload.NewEncoder(in.Dataset)
 	m.tDim = m.enc.TableDim()
 	m.jDim = m.enc.JoinDim()
 	if m.jDim == 0 {
@@ -277,4 +297,112 @@ func fillSet(pool []float64, bi, stride, rowBase, cnt int) {
 // Estimate implements ce.Estimator.
 func (m *Model) Estimate(q *workload.Query) float64 {
 	return workload.ExpCard(m.forward(q).Scalar())
+}
+
+// EstimateBatch implements ce.Estimator as one vectorized pass: every
+// query's set elements are stacked into three shared matrices, each
+// set-MLP runs once over its stack, the per-query mean pooling replicates
+// nn.MeanRows' arithmetic over each query's row span, and the output MLP
+// runs once over the pooled batch. Dense-kernel rows are computed
+// independently and pooling sums rows in the same ascending order as the
+// per-query path, so every estimate is bit-identical to Estimate.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	if len(qs) == 0 {
+		return nil
+	}
+	type span struct{ start, n int }
+	tSpans := make([]span, len(qs))
+	jSpans := make([]span, len(qs))
+	pSpans := make([]span, len(qs))
+	tEls := make([]*nn.Tensor, len(qs))
+	jEls := make([]*nn.Tensor, len(qs))
+	pEls := make([]*nn.Tensor, len(qs))
+	var tRows, jRows, pRows int
+	for i, q := range qs {
+		t, j, p := m.setElements(q)
+		tEls[i], jEls[i], pEls[i] = t, j, p
+		tSpans[i] = span{tRows, t.R}
+		jSpans[i] = span{jRows, j.R}
+		pSpans[i] = span{pRows, p.R}
+		tRows += t.R
+		jRows += j.R
+		pRows += p.R
+	}
+	stack := func(els []*nn.Tensor, rows, dim int) *nn.Tensor {
+		x := nn.Zeros(rows, dim)
+		off := 0
+		for _, e := range els {
+			copy(x.V[off:off+len(e.V)], e.V)
+			off += len(e.V)
+		}
+		return x
+	}
+	hT := m.tableMLP.Forward(stack(tEls, tRows, m.tDim))
+	hJ := m.joinMLP.Forward(stack(jEls, jRows, m.jDim))
+	hP := m.predMLP.Forward(stack(pEls, pRows, m.pDim))
+
+	h := hT.C
+	pooled := nn.Zeros(len(qs), 3*h)
+	meanInto := func(dst []float64, src *nn.Tensor, sp span) {
+		// Sum the span's rows in ascending order, then multiply by the
+		// reciprocal — exactly nn.MeanRows (SumRows + Scale) on the
+		// per-query matrix.
+		for r := sp.start; r < sp.start+sp.n; r++ {
+			row := src.V[r*src.C : (r+1)*src.C]
+			for j, v := range row {
+				dst[j] += v
+			}
+		}
+		s := 1 / float64(sp.n)
+		for j := range dst[:src.C] {
+			dst[j] *= s
+		}
+	}
+	for i := range qs {
+		row := pooled.V[i*3*h : (i+1)*3*h]
+		meanInto(row[:h], hT, tSpans[i])
+		meanInto(row[h:2*h], hJ, jSpans[i])
+		meanInto(row[2*h:], hP, pSpans[i])
+	}
+	out := m.outMLP.Forward(pooled)
+	ests := make([]float64, len(qs))
+	for i := range ests {
+		ests[i] = workload.ExpCard(out.V[i])
+	}
+	return ests
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg              Config
+	Enc              *workload.Encoder
+	Table, Join      *nn.MLP
+	Pred, Out        *nn.MLP
+	TDim, JDim, PDim int
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	if m.enc == nil {
+		return nil, fmt.Errorf("mscn: cannot persist an untrained model")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&modelState{
+		Cfg: m.cfg, Enc: m.enc,
+		Table: m.tableMLP, Join: m.joinMLP, Pred: m.predMLP, Out: m.outMLP,
+		TDim: m.tDim, JDim: m.jDim, PDim: m.pDim,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("mscn: decoding model: %w", err)
+	}
+	m.cfg, m.enc = st.Cfg, st.Enc
+	m.tableMLP, m.joinMLP, m.predMLP, m.outMLP = st.Table, st.Join, st.Pred, st.Out
+	m.tDim, m.jDim, m.pDim = st.TDim, st.JDim, st.PDim
+	return nil
 }

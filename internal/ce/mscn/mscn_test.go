@@ -2,6 +2,7 @@ package mscn
 
 import (
 	"math"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -33,12 +34,12 @@ func TestTrainingImprovesOverInit(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Epochs = 0
 	untrained := New(cfg)
-	if err := untrained.TrainQueries(d, train); err != nil {
+	if err := untrained.Fit(&ce.TrainInput{Dataset: d, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	cfg.Epochs = 12
 	trained := New(cfg)
-	if err := trained.TrainQueries(d, train); err != nil {
+	if err := trained.Fit(&ce.TrainInput{Dataset: d, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	if eval(trained) >= eval(untrained) {
@@ -59,7 +60,7 @@ func TestSetEncodingIgnoresPredicateOrder(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Epochs = 4
 	m := New(cfg)
-	if err := m.TrainQueries(d, train); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	q := &workload.Query{Query: engine.Query{
@@ -87,7 +88,7 @@ func TestEmptyWorkloadRejected(t *testing.T) {
 	p.MinRows, p.MaxRows = 100, 150
 	d, _ := datagen.Generate("m", p)
 	m := New(DefaultConfig())
-	if err := m.TrainQueries(d, nil); err == nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Queries: nil}); err == nil {
 		t.Fatal("empty workload accepted")
 	}
 }

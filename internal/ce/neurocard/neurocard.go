@@ -12,15 +12,35 @@
 package neurocard
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/ce"
-	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 5: the paper's data-driven baseline (6). Progressive
+	// sampling advances the model's RNG and shares sampler scratch, so
+	// inference is NOT concurrent; EstimateBatch stays sequential.
+	ce.Register(ce.Spec{
+		Rank: 5, Name: "NeuroCard", Kind: ce.DataDriven, Candidate: true, Concurrent: false,
+		New: func(c ce.Config) ce.Model {
+			cfg := DefaultConfig()
+			if c.Fast {
+				cfg.Epochs = 2
+				cfg.Samples = 24
+			}
+			cfg.Seed = c.Seed + 14
+			return New(cfg)
+		},
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls training and progressive sampling.
 type Config struct {
@@ -66,12 +86,18 @@ func NewMade(rng *rand.Rand, bins []int, hidden int) *Made {
 		m.Offsets = append(m.Offsets, m.InDim)
 		m.InDim += b
 	}
-	ncols := len(bins)
 	m.W1 = nn.XavierParam(rng, m.InDim, hidden)
 	m.B1 = nn.NewParam(1, hidden)
 	m.W2 = nn.XavierParam(rng, hidden, m.InDim)
 	m.B2 = nn.NewParam(1, m.InDim)
+	m.buildMasks(hidden)
+	return m
+}
 
+// buildMasks derives the autoregressive masks from Bins/Offsets/InDim —
+// purely structural state, recomputed rather than serialized on decode.
+func (m *Made) buildMasks(hidden int) {
+	ncols := len(m.Bins)
 	hDeg := make([]int, hidden)
 	for h := range hDeg {
 		if ncols > 1 {
@@ -81,7 +107,7 @@ func NewMade(rng *rand.Rand, bins []int, hidden int) *Made {
 	inDeg := make([]int, m.InDim)
 	outDeg := make([]int, m.InDim)
 	for c, off := range m.Offsets {
-		for j := 0; j < bins[c]; j++ {
+		for j := 0; j < m.Bins[c]; j++ {
 			inDeg[off+j] = c
 			outDeg[off+j] = c
 		}
@@ -102,7 +128,40 @@ func NewMade(rng *rand.Rand, bins []int, hidden int) *Made {
 			}
 		}
 	}
-	return m
+}
+
+// madeState is the gob form of a Made network: the weights plus the bin
+// layout; offsets and masks are rebuilt on decode.
+type madeState struct {
+	Bins           []int
+	W1, B1, W2, B2 *nn.Tensor
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Made) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&madeState{
+		Bins: m.Bins, W1: m.W1, B1: m.B1, W2: m.W2, B2: m.B2,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Made) GobDecode(data []byte) error {
+	var st madeState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("neurocard: decoding MADE: %w", err)
+	}
+	*m = Made{Bins: st.Bins, W1: st.W1, B1: st.B1, W2: st.W2, B2: st.B2}
+	for _, b := range st.Bins {
+		m.Offsets = append(m.Offsets, m.InDim)
+		m.InDim += b
+	}
+	if m.W1 == nil || m.W1.R != m.InDim {
+		return fmt.Errorf("neurocard: MADE weights do not match bin layout")
+	}
+	m.buildMasks(m.W1.C)
+	return nil
 }
 
 // Forward returns the full logit matrix for a batch of one-hot rows.
@@ -150,12 +209,16 @@ func (m *Made) ColumnDist(input []float64, c int) []float64 {
 // Model is a trained NeuroCard-style estimator.
 type Model struct {
 	cfg    Config
-	d      *dataset.Dataset
+	bounds *ce.ColBounds
 	binner *ce.Binner
 	slots  map[[2]int]int
 	sizes  *ce.SubsetSizes
 	made   *Made
-	rng    *rand.Rand
+	// rng drives training and progressive sampling. The counting wrapper
+	// produces the exact stdlib stream while making the position
+	// serializable, so a gob round trip continues the estimate stream
+	// bit-identically.
+	rng *ce.RNG
 
 	degenerate bool
 }
@@ -166,31 +229,30 @@ func New(cfg Config) *Model { return &Model{cfg: cfg} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "NeuroCard" }
 
-// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
-// precomputed join-subset sizes before training.
-func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
-
-// TrainData implements ce.DataDriven.
-func (m *Model) TrainData(d *dataset.Dataset, sample *engine.JoinSample) error {
+// Fit implements ce.Model (data-driven: consumes Dataset, Sample, and the
+// shared Sizes when provided).
+func (m *Model) Fit(in *ce.TrainInput) error {
+	d, sample := in.Dataset, in.Sample
 	if len(sample.Rows) == 0 {
 		m.degenerate = true
 		return nil
 	}
-	m.d = d
+	m.bounds = ce.NewColBounds(d)
 	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
 	m.slots = ce.ColSlots(sample)
+	m.sizes = in.Sizes
 	if m.sizes == nil {
 		m.sizes = ce.ComputeSubsetSizes(d)
 	}
-	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
+	m.rng = ce.NewRNG(m.cfg.Seed)
 	rows := m.binner.BinRows(sample)
 
 	bins := make([]int, len(sample.Cols))
 	for j := range bins {
 		bins[j] = m.binner.NumBins(j)
 	}
-	m.made = NewMade(m.rng, bins, m.cfg.Hidden)
-	TrainMade(m.made, rows, m.cfg.Epochs, m.cfg.Batch, m.cfg.LR, m.rng)
+	m.made = NewMade(m.rng.Rand, bins, m.cfg.Hidden)
+	TrainMade(m.made, rows, m.cfg.Epochs, m.cfg.Batch, m.cfg.LR, m.rng.Rand)
 	return nil
 }
 
@@ -437,9 +499,9 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	if !ok {
 		return 1
 	}
-	p := ProgressiveSample(m.made, ranges, m.cfg.Samples, m.rng)
+	p := ProgressiveSample(m.made, ranges, m.cfg.Samples, m.rng.Rand)
 	for _, pr := range unresolved {
-		p *= uniformSel(m.d, pr)
+		p *= m.bounds.UniformSel(pr)
 	}
 	est := p * float64(m.sizes.Size(q.Tables))
 	if est < 1 {
@@ -448,25 +510,53 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	return est
 }
 
-func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
-	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
-	width := float64(hi-lo) + 1
-	if width <= 0 {
-		return 1
+// EstimateBatch implements ce.Estimator sequentially: progressive sampling
+// advances the model's RNG and reuses the cached sampler's scratch, so the
+// batch preserves the per-query estimate stream exactly.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.SerialEstimates(m, qs)
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg        Config
+	Bounds     *ce.ColBounds
+	Binner     *ce.Binner
+	Slots      map[[2]int]int
+	Sizes      *ce.SubsetSizes
+	Made       *Made
+	RNG        ce.RNGState
+	Degenerate bool
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable). The RNG stream
+// position is captured so a decoded model continues the progressive-
+// sampling stream bit-identically.
+func (m *Model) GobEncode() ([]byte, error) {
+	st := &modelState{Cfg: m.cfg, Degenerate: m.degenerate}
+	if !m.degenerate {
+		if m.made == nil {
+			return nil, fmt.Errorf("neurocard: cannot persist an untrained model")
+		}
+		st.Bounds, st.Binner, st.Slots, st.Sizes = m.bounds, m.binner, m.slots, m.sizes
+		st.Made, st.RNG = m.made, m.rng.State()
 	}
-	ovLo, ovHi := p.Lo, p.Hi
-	if lo > ovLo {
-		ovLo = lo
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(st)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("neurocard: decoding model: %w", err)
 	}
-	if hi < ovHi {
-		ovHi = hi
+	m.cfg, m.bounds, m.binner, m.slots = st.Cfg, st.Bounds, st.Binner, st.Slots
+	m.sizes, m.made, m.degenerate = st.Sizes, st.Made, st.Degenerate
+	m.rng = nil
+	if !st.Degenerate {
+		m.rng = ce.RNGFromState(st.RNG)
 	}
-	ov := float64(ovHi-ovLo) + 1
-	if ov <= 0 {
-		return 0
-	}
-	if ov > width {
-		ov = width
-	}
-	return ov / width
+	return nil
 }

@@ -1,0 +1,202 @@
+package ce
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Persistable is a model that can round-trip through gob. Every registered
+// estimator implements it; the contract (enforced by the registry
+// conformance tests) is that a decoded model produces bit-identical
+// estimates to the encoded one, including the continuation of any internal
+// sampling stream (see RNG).
+type Persistable interface {
+	Model
+	gob.GobEncoder
+	gob.GobDecoder
+}
+
+// artifact is the on-wire form of a saved model: the registry name that
+// selects the constructor on load, an opaque schema fingerprint of the
+// dataset the model was trained on (callers compare it before serving a
+// reloaded model against a possibly changed dataset), and the model's own
+// gob encoding.
+type artifact struct {
+	Name   string
+	Schema string
+	Blob   []byte
+}
+
+// SaveModel writes a trained model to w as a self-describing artifact with
+// no schema fingerprint; see SaveModelSchema.
+func SaveModel(w io.Writer, m Model) error { return SaveModelSchema(w, m, "") }
+
+// SaveModelSchema writes a trained model to w as a self-describing
+// artifact carrying an opaque schema fingerprint. The model must be
+// registered (its Name selects the decoder) and Persistable.
+func SaveModelSchema(w io.Writer, m Model, schema string) error {
+	p, ok := m.(Persistable)
+	if !ok {
+		return fmt.Errorf("ce: model %s does not implement Persistable", m.Name())
+	}
+	if _, ok := Lookup(m.Name()); !ok {
+		return fmt.Errorf("ce: model %s is not registered; artifacts need a registry constructor", m.Name())
+	}
+	blob, err := p.GobEncode()
+	if err != nil {
+		return fmt.Errorf("ce: encoding %s: %w", m.Name(), err)
+	}
+	if err := gob.NewEncoder(w).Encode(&artifact{Name: m.Name(), Schema: schema, Blob: blob}); err != nil {
+		return fmt.Errorf("ce: writing %s artifact: %w", m.Name(), err)
+	}
+	return nil
+}
+
+// LoadModel reads an artifact written by SaveModel, constructing the model
+// through the registry and restoring its state.
+func LoadModel(r io.Reader) (Model, error) {
+	m, _, err := LoadModelSchema(r)
+	return m, err
+}
+
+// LoadModelSchema is LoadModel returning the artifact's recorded schema
+// fingerprint as well.
+func LoadModelSchema(r io.Reader) (Model, string, error) {
+	var a artifact
+	if err := gob.NewDecoder(r).Decode(&a); err != nil {
+		return nil, "", fmt.Errorf("ce: reading model artifact: %w", err)
+	}
+	spec, ok := Lookup(a.Name)
+	if !ok {
+		return nil, "", fmt.Errorf("ce: artifact names unregistered model %q", a.Name)
+	}
+	m := spec.New(Config{})
+	p, ok := m.(Persistable)
+	if !ok {
+		return nil, "", fmt.Errorf("ce: registered model %s does not implement Persistable", a.Name)
+	}
+	if err := p.GobDecode(a.Blob); err != nil {
+		return nil, "", fmt.Errorf("ce: decoding %s: %w", a.Name, err)
+	}
+	return m, a.Schema, nil
+}
+
+// Store is a directory of trained-model artifacts keyed by (dataset,
+// model). It is the persistence half of the serve lifecycle: /train writes
+// an artifact per (dataset, model), and a restarted server reloads them.
+// Methods are safe for concurrent use to the extent the filesystem is;
+// writes go through a temp file + rename so readers never observe a
+// partial artifact.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) an artifact directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ce: opening model store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+const artifactExt = ".cemodel"
+
+// Artifacts live one directory level deep — <dir>/<dataset>/<model>.cemodel
+// with both components URL-escaped. PathEscape escapes "/", so arbitrary
+// names cannot traverse, and the directory boundary keeps dataset and
+// model names unambiguous (a flat "ds__model" scheme would mis-split any
+// dataset name containing the separator).
+func (s *Store) datasetDir(datasetName string) string {
+	return filepath.Join(s.dir, url.PathEscape(datasetName))
+}
+
+func (s *Store) path(datasetName, modelName string) string {
+	return filepath.Join(s.datasetDir(datasetName), url.PathEscape(modelName)+artifactExt)
+}
+
+// Save persists m as the trained model of datasetName, recording schema
+// (an opaque dataset fingerprint; may be empty) in the artifact, and
+// returns the artifact path.
+func (s *Store) Save(datasetName, schema string, m Model) (string, error) {
+	dir := s.datasetDir(datasetName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("ce: store save: %w", err)
+	}
+	dst := s.path(datasetName, m.Name())
+	tmp, err := os.CreateTemp(dir, "tmp-*"+artifactExt)
+	if err != nil {
+		return "", fmt.Errorf("ce: store save: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveModelSchema(tmp, m, schema); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("ce: store save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", fmt.Errorf("ce: store save: %w", err)
+	}
+	return dst, nil
+}
+
+// Load reads the artifact saved for (datasetName, modelName), returning
+// the model and the schema fingerprint recorded at save time.
+func (s *Store) Load(datasetName, modelName string) (Model, string, error) {
+	f, err := os.Open(s.path(datasetName, modelName))
+	if err != nil {
+		return nil, "", fmt.Errorf("ce: store load: %w", err)
+	}
+	defer f.Close()
+	return LoadModelSchema(f)
+}
+
+// Entry identifies one stored artifact.
+type Entry struct {
+	Dataset, Model string
+	Path           string
+}
+
+// List enumerates the store's artifacts.
+func (s *Store) List() ([]Entry, error) {
+	dirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ce: store list: %w", err)
+	}
+	var out []Entry
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		ds, err := url.PathUnescape(d.Name())
+		if err != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, d.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || !strings.HasSuffix(name, artifactExt) || strings.HasPrefix(name, "tmp-") {
+				continue
+			}
+			mn, err := url.PathUnescape(strings.TrimSuffix(name, artifactExt))
+			if err != nil {
+				continue
+			}
+			out = append(out, Entry{Dataset: ds, Model: mn,
+				Path: filepath.Join(s.dir, d.Name(), name)})
+		}
+	}
+	return out, nil
+}

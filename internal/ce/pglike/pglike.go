@@ -7,12 +7,24 @@
 package pglike
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"sort"
 
-	"repro/internal/dataset"
-	"repro/internal/engine"
+	"repro/internal/ce"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 7: the PostgreSQL-style baseline (9). It is measured
+	// for the figure/table comparisons but is not a selection candidate.
+	ce.Register(ce.Spec{
+		Rank: 7, Name: "Postgres", Kind: ce.DataDriven, Candidate: false, Concurrent: true,
+		New: func(ce.Config) ce.Model { return New() },
+	})
+	gob.Register(&Model{})
+}
 
 // Histogram is an equi-depth histogram over one column.
 type Histogram struct {
@@ -90,7 +102,7 @@ func (h *Histogram) Selectivity(lo, hi int64) float64 {
 
 // Model is a trained PostgreSQL-style estimator for one dataset.
 type Model struct {
-	d     *dataset.Dataset
+	rows  []int64        // per-table row counts
 	hists [][]*Histogram // [table][col]
 	// Buckets is the per-column histogram resolution (default 32).
 	Buckets int
@@ -102,12 +114,15 @@ func New() *Model { return &Model{Buckets: 32} }
 // Name implements ce.Estimator.
 func (m *Model) Name() string { return "Postgres" }
 
-// TrainData builds histograms for every column. The join sample is unused:
-// like the real system, this model relies only on per-table statistics.
-func (m *Model) TrainData(d *dataset.Dataset, _ *engine.JoinSample) error {
-	m.d = d
+// Fit implements ce.Model (data-driven: consumes Dataset), building
+// histograms for every column. The join sample is unused: like the real
+// system, this model relies only on per-table statistics.
+func (m *Model) Fit(in *ce.TrainInput) error {
+	d := in.Dataset
+	m.rows = make([]int64, len(d.Tables))
 	m.hists = make([][]*Histogram, len(d.Tables))
 	for ti, t := range d.Tables {
+		m.rows[ti] = int64(t.Rows())
 		m.hists[ti] = make([]*Histogram, t.NumCols())
 		for ci, c := range t.Cols {
 			m.hists[ti][ci] = NewHistogram(c.Data, m.Buckets)
@@ -121,7 +136,7 @@ func (m *Model) TrainData(d *dataset.Dataset, _ *engine.JoinSample) error {
 func (m *Model) Estimate(q *workload.Query) float64 {
 	card := 1.0
 	for _, ti := range q.Tables {
-		card *= float64(m.d.Tables[ti].Rows())
+		card *= float64(m.rows[ti])
 	}
 	for _, p := range q.Preds {
 		card *= m.hists[p.Table][p.Col].Selectivity(p.Lo, p.Hi)
@@ -142,4 +157,36 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 		return 1
 	}
 	return card
+}
+
+// EstimateBatch implements ce.Estimator with the shared parallel fan-out.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.ParallelEstimates(m, qs)
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Rows    []int64
+	Hists   [][]*Histogram
+	Buckets int
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable).
+func (m *Model) GobEncode() ([]byte, error) {
+	if m.hists == nil {
+		return nil, fmt.Errorf("pglike: cannot persist an untrained model")
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&modelState{Rows: m.rows, Hists: m.hists, Buckets: m.Buckets})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("pglike: decoding model: %w", err)
+	}
+	m.rows, m.hists, m.Buckets = st.Rows, st.Hists, st.Buckets
+	return nil
 }

@@ -2,6 +2,7 @@ package pglike
 
 import (
 	"math"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -58,7 +59,7 @@ func TestEstimateSingleTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := New()
-	if err := m.TrainData(d, nil); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: nil}); err != nil {
 		t.Fatal(err)
 	}
 	qs := workload.Generate(d, workload.DefaultConfig(50, 2))
@@ -98,7 +99,7 @@ func TestEstimateJoinFormula(t *testing.T) {
 		FKs: []dataset.ForeignKey{{FromTable: 1, FromCol: 0, ToTable: 0, ToCol: 0, Correlation: 1}},
 	}
 	m := New()
-	if err := m.TrainData(d, nil); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: nil}); err != nil {
 		t.Fatal(err)
 	}
 	q := &workload.Query{Query: engine.Query{

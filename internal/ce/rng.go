@@ -1,0 +1,67 @@
+package ce
+
+import "math/rand"
+
+// RNG is a math/rand generator whose stream position can be serialized —
+// the ingredient that lets sampling-based estimators (NeuroCard, UAE)
+// round-trip through gob with bit-identical subsequent estimates. The
+// stdlib source exposes no state, so RNG wraps it in a draw-counting shim
+// and a snapshot records (seed, draws); restoring replays that many draws
+// against a fresh source of the same seed.
+//
+// The shim deliberately implements only rand.Source (not Source64):
+// every Rand method the estimators use (Float64, Intn, Perm, Shuffle)
+// reduces to Int63 on such a source, so the produced stream is identical
+// to rand.New(rand.NewSource(seed)) and the draw count fully determines
+// the state. Rand.Uint64 would consume two Int63s here instead of one
+// native Uint64 — no caller does, and new model code must not.
+type RNG struct {
+	*rand.Rand
+	src *countedSource
+}
+
+type countedSource struct {
+	src   rand.Source
+	seed  int64
+	draws uint64
+}
+
+func (s *countedSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countedSource) Seed(seed int64) {
+	s.seed, s.draws = seed, 0
+	s.src.Seed(seed)
+}
+
+// NewRNG returns a counting generator seeded with seed. Its draw stream is
+// identical to rand.New(rand.NewSource(seed)) for all Int63-derived
+// methods.
+func NewRNG(seed int64) *RNG {
+	src := &countedSource{src: rand.NewSource(seed), seed: seed}
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// RNGState is the serializable stream position of an RNG.
+type RNGState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// State snapshots the generator's position.
+func (g *RNG) State() RNGState {
+	return RNGState{Seed: g.src.seed, Draws: g.src.draws}
+}
+
+// RNGFromState reconstructs a generator at the recorded position by
+// replaying the recorded number of draws (tens of nanoseconds per
+// thousand draws — negligible against model load time).
+func RNGFromState(st RNGState) *RNG {
+	g := NewRNG(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		g.src.Int63()
+	}
+	return g
+}

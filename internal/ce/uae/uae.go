@@ -12,16 +12,35 @@
 package uae
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/ce"
 	"repro/internal/ce/neurocard"
-	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/nn"
 	"repro/internal/workload"
 )
+
+func init() {
+	// Registry rank 6: the paper's hybrid baseline (7). Like NeuroCard,
+	// inference advances the sampling RNG, so it is not concurrent.
+	ce.Register(ce.Spec{
+		Rank: 6, Name: "UAE", Kind: ce.Hybrid, Candidate: true, Concurrent: false,
+		New: func(c ce.Config) ce.Model {
+			cfg := DefaultConfig()
+			if c.Fast {
+				cfg.Epochs = 2
+				cfg.Samples = 24
+				cfg.CorrEpochs = 6
+			}
+			cfg.Seed = c.Seed + 15
+			return New(cfg)
+		},
+	})
+	gob.Register(&Model{})
+}
 
 // Config controls both training phases.
 type Config struct {
@@ -49,12 +68,14 @@ func DefaultConfig() Config {
 // Model is a trained UAE estimator.
 type Model struct {
 	cfg    Config
-	d      *dataset.Dataset
+	bounds *ce.ColBounds
 	binner *ce.Binner
 	slots  map[[2]int]int
 	sizes  *ce.SubsetSizes
 	made   *neurocard.Made
-	rng    *rand.Rand
+	// rng drives training and progressive sampling; the counting wrapper
+	// makes its position serializable (see neurocard.Model).
+	rng *ce.RNG
 
 	enc  *workload.Encoder
 	corr *nn.MLP
@@ -77,9 +98,9 @@ func (m *Model) arEstimate(q *workload.Query) float64 {
 	if !ok {
 		return 1
 	}
-	p := neurocard.ProgressiveSample(m.made, ranges, m.cfg.Samples, m.rng)
+	p := neurocard.ProgressiveSample(m.made, ranges, m.cfg.Samples, m.rng.Rand)
 	for _, pr := range unresolved {
-		p *= uniformSel(m.d, pr)
+		p *= m.bounds.UniformSel(pr)
 	}
 	est := p * float64(m.sizes.Size(q.Tables))
 	if est < 1 {
@@ -88,37 +109,36 @@ func (m *Model) arEstimate(q *workload.Query) float64 {
 	return est
 }
 
-// SetSubsetSizes implements ce.SizeAware: the testbed injects the shared
-// precomputed join-subset sizes before training.
-func (m *Model) SetSubsetSizes(ss *ce.SubsetSizes) { m.sizes = ss }
-
-// TrainBoth implements ce.Hybrid: phase one fits the autoregressive data
+// Fit implements ce.Model (hybrid: consumes Dataset, Sample, Queries, and
+// the shared Sizes when provided): phase one fits the autoregressive data
 // model; phase two fits the residual corrector on the labeled queries.
-func (m *Model) TrainBoth(d *dataset.Dataset, sample *engine.JoinSample, train []*workload.Query) error {
+func (m *Model) Fit(in *ce.TrainInput) error {
+	d, sample, train := in.Dataset, in.Sample, in.Queries
 	if len(sample.Rows) == 0 {
 		m.degenerate = true
 		return nil
 	}
-	m.d = d
+	m.bounds = ce.NewColBounds(d)
 	m.binner = ce.NewBinner(sample, m.cfg.MaxBins)
 	m.slots = ce.ColSlots(sample)
+	m.sizes = in.Sizes
 	if m.sizes == nil {
 		m.sizes = ce.ComputeSubsetSizes(d)
 	}
-	m.rng = rand.New(rand.NewSource(m.cfg.Seed))
+	m.rng = ce.NewRNG(m.cfg.Seed)
 	rows := m.binner.BinRows(sample)
 	bins := make([]int, len(sample.Cols))
 	for j := range bins {
 		bins[j] = m.binner.NumBins(j)
 	}
-	m.made = neurocard.NewMade(m.rng, bins, m.cfg.Hidden)
-	neurocard.TrainMade(m.made, rows, m.cfg.Epochs, m.cfg.Batch, m.cfg.LR, m.rng)
+	m.made = neurocard.NewMade(m.rng.Rand, bins, m.cfg.Hidden)
+	neurocard.TrainMade(m.made, rows, m.cfg.Epochs, m.cfg.Batch, m.cfg.LR, m.rng.Rand)
 
 	if len(train) == 0 {
 		return nil // degenerate to pure data-driven
 	}
 	m.enc = workload.NewEncoder(d)
-	m.corr = nn.NewMLP(m.rng, []int{m.enc.Dim(), m.cfg.CorrHidden, 1}, nn.ActReLU, nn.ActNone)
+	m.corr = nn.NewMLP(m.rng.Rand, []int{m.enc.Dim(), m.cfg.CorrHidden, 1}, nn.ActReLU, nn.ActNone)
 	// Residual targets: log(true) - log(AR estimate), clamped to keep the
 	// corrector from memorizing outliers.
 	xs := make([][]float64, 0, len(train))
@@ -190,25 +210,56 @@ func (m *Model) Estimate(q *workload.Query) float64 {
 	return est
 }
 
-func uniformSel(d *dataset.Dataset, p engine.Predicate) float64 {
-	lo, hi := d.Tables[p.Table].Col(p.Col).MinMax()
-	width := float64(hi-lo) + 1
-	if width <= 0 {
-		return 1
+// EstimateBatch implements ce.Estimator sequentially: the autoregressive
+// half advances the model's RNG, so the batch preserves the per-query
+// estimate stream exactly.
+func (m *Model) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.SerialEstimates(m, qs)
+}
+
+// modelState is the gob form of a trained model.
+type modelState struct {
+	Cfg        Config
+	Bounds     *ce.ColBounds
+	Binner     *ce.Binner
+	Slots      map[[2]int]int
+	Sizes      *ce.SubsetSizes
+	Made       *neurocard.Made
+	Enc        *workload.Encoder
+	Corr       *nn.MLP
+	RNG        ce.RNGState
+	Degenerate bool
+}
+
+// GobEncode implements gob.GobEncoder (ce.Persistable), capturing the RNG
+// stream position so estimates continue bit-identically after a round
+// trip.
+func (m *Model) GobEncode() ([]byte, error) {
+	st := &modelState{Cfg: m.cfg, Degenerate: m.degenerate}
+	if !m.degenerate {
+		if m.made == nil {
+			return nil, fmt.Errorf("uae: cannot persist an untrained model")
+		}
+		st.Bounds, st.Binner, st.Slots, st.Sizes = m.bounds, m.binner, m.slots, m.sizes
+		st.Made, st.Enc, st.Corr, st.RNG = m.made, m.enc, m.corr, m.rng.State()
 	}
-	ovLo, ovHi := p.Lo, p.Hi
-	if lo > ovLo {
-		ovLo = lo
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(st)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder (ce.Persistable).
+func (m *Model) GobDecode(data []byte) error {
+	var st modelState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("uae: decoding model: %w", err)
 	}
-	if hi < ovHi {
-		ovHi = hi
+	m.cfg, m.bounds, m.binner, m.slots = st.Cfg, st.Bounds, st.Binner, st.Slots
+	m.sizes, m.made, m.enc, m.corr = st.Sizes, st.Made, st.Enc, st.Corr
+	m.degenerate = st.Degenerate
+	m.rng = nil
+	if !st.Degenerate {
+		m.rng = ce.RNGFromState(st.RNG)
 	}
-	ov := float64(ovHi-ovLo) + 1
-	if ov <= 0 {
-		return 0
-	}
-	if ov > width {
-		ov = width
-	}
-	return ov / width
+	return nil
 }

@@ -3,6 +3,7 @@ package uae
 import (
 	"math"
 	"math/rand"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -28,7 +29,7 @@ func TestQueryCorrectionImprovesOverPureAR(t *testing.T) {
 	cfg.Epochs = 3
 	cfg.CorrEpochs = 12
 	m := New(cfg)
-	if err := m.TrainBoth(d, sample, train); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: sample, Queries: train}); err != nil {
 		t.Fatal(err)
 	}
 	evalWith := func(est func(*workload.Query) float64) float64 {
@@ -56,7 +57,7 @@ func TestHybridWithoutQueriesDegradesToDataDriven(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	sample := engine.SampleJoin(d, 400, rng)
 	m := New(DefaultConfig())
-	if err := m.TrainBoth(d, sample, nil); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: sample, Queries: nil}); err != nil {
 		t.Fatal(err)
 	}
 	q := &workload.Query{Query: engine.Query{
@@ -77,7 +78,7 @@ func TestDegenerateSample(t *testing.T) {
 	p.MinRows, p.MaxRows = 100, 150
 	d, _ := datagen.Generate("u", p)
 	m := New(DefaultConfig())
-	if err := m.TrainBoth(d, &engine.JoinSample{}, nil); err != nil {
+	if err := m.Fit(&ce.TrainInput{Dataset: d, Sample: &engine.JoinSample{}, Queries: nil}); err != nil {
 		t.Fatal(err)
 	}
 	q := &workload.Query{Query: engine.Query{Tables: []int{0}}}

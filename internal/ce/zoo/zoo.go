@@ -1,0 +1,24 @@
+// Package zoo registers the paper's full model zoo: importing it (blank)
+// populates ce.Registry with the nine Section VII-A baselines — seven
+// selection candidates (MSCN, LW-NN, LW-XGB, DeepDB, BayesCard, NeuroCard,
+// UAE) plus the measured-only Postgres and Ensemble baselines — in the
+// paper's registry order.
+//
+// Onboarding a tenth estimator is one self-registering package (a
+// ce.Register call in its init) plus an import line here; every consumer —
+// the testbed, the experiment harness, the advisor baselines, the serving
+// front-end — derives model order, names, and candidate sets from the
+// registry.
+package zoo
+
+import (
+	_ "repro/internal/ce/bayescard"
+	_ "repro/internal/ce/deepdb"
+	_ "repro/internal/ce/ensemble"
+	_ "repro/internal/ce/lwnn"
+	_ "repro/internal/ce/lwxgb"
+	_ "repro/internal/ce/mscn"
+	_ "repro/internal/ce/neurocard"
+	_ "repro/internal/ce/pglike"
+	_ "repro/internal/ce/uae"
+)

@@ -43,7 +43,7 @@ func Fig1(sc Scale) (*Fig1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := []int{testbed.ModelDeepDB, testbed.ModelNeuroCard, testbed.ModelMSCN}
+	idx := []int{testbed.ModelIndex("DeepDB"), testbed.ModelIndex("NeuroCard"), testbed.ModelIndex("MSCN")}
 	res := &Fig1Result{}
 	for _, i := range idx {
 		res.Models = append(res.Models, testbed.ModelNames[i])
@@ -265,7 +265,14 @@ func Fig9(c *Corpus) (*Fig9Result, error) {
 	}
 	for _, wa := range res.Weights {
 		rowD := []float64{fullDErr(wa, func(ld *LabeledDataset) int {
-			return autoce.Recommend(ld.Graph, wa).Model
+			// Recommend returns a candidate-set position; the full score
+			// vector is registry-indexed, so translate.
+			pick := autoce.Recommend(ld.Graph, wa).Model
+			cands := testbed.Candidates()
+			if pick < 0 || pick >= len(cands) {
+				return -1
+			}
+			return cands[pick]
 		})}
 		for m := 0; m < testbed.NumModels; m++ {
 			m := m

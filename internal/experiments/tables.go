@@ -243,14 +243,17 @@ func TableIII(c *Corpus) (*TableIIIResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	qd := testbed.QueryDrivenSet()
-
+	// Work in candidate-set positions throughout: rec.Scores and the
+	// label's ScoreVector both live in the advisor's label space, so the
+	// registry indexes of the query-driven set are translated up front.
+	qd := make([]int, 0, len(testbed.QueryDrivenSet()))
 	res := &TableIIIResult{
 		Weights: []float64{1.0, 0.9, 0.7, 0.5},
 		Names:   []string{"AutoCE"},
 	}
-	for _, m := range qd {
+	for _, m := range testbed.QueryDrivenSet() {
 		res.Names = append(res.Names, testbed.ModelNames[m])
+		qd = append(qd, ce.CandidatePos(m))
 	}
 	for _, wa := range res.Weights {
 		sv := label.ScoreVector(wa)
@@ -499,7 +502,8 @@ func TableV(c *Corpus) (*TableVResult, error) {
 				if agg[key] == nil {
 					agg[key] = &totals{}
 				}
-				chosen := testbed.ModelNames[picks[wa]]
+				// picks holds candidate-set positions from Recommend.
+				chosen := testbed.CandidateModelLabel(picks[wa])
 				opt := pgsim.New(d, ests[chosen])
 				for _, q := range qs {
 					r := opt.Run(q)

@@ -1,0 +1,52 @@
+package gbt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// nodeState mirrors node with exported fields for gob.
+type nodeState struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Leaf      bool
+	Value     float64
+}
+
+// GobEncode implements gob.GobEncoder, flattening the array-encoded tree.
+// An Ensemble gob-encodes directly: its exported fields carry everything,
+// and its trees serialize through this method.
+func (t *Tree) GobEncode() ([]byte, error) {
+	nodes := make([]nodeState, len(t.nodes))
+	for i, n := range t.nodes {
+		nodes[i] = nodeState{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right, Leaf: n.leaf, Value: n.value,
+		}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(nodes)
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(data []byte) error {
+	var nodes []nodeState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&nodes); err != nil {
+		return fmt.Errorf("gbt: decoding tree: %w", err)
+	}
+	t.nodes = make([]node, len(nodes))
+	for i, n := range nodes {
+		if !n.Leaf && (n.Left < 0 || n.Left >= len(nodes) || n.Right < 0 || n.Right >= len(nodes)) {
+			return fmt.Errorf("gbt: tree node %d has children %d/%d of %d", i, n.Left, n.Right, len(nodes))
+		}
+		t.nodes[i] = node{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right, leaf: n.Leaf, value: n.Value,
+		}
+	}
+	return nil
+}

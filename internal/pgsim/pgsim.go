@@ -315,6 +315,24 @@ func (o *Oracle) Estimate(q *workload.Query) float64 {
 	return float64(c)
 }
 
+// EstimateBatch implements ce.Estimator through the engine's batched
+// oracle (shared join index, one evaluator per worker).
+func (o *Oracle) EstimateBatch(qs []*workload.Query) []float64 {
+	eqs := make([]*engine.Query, len(qs))
+	for i, q := range qs {
+		eqs[i] = &q.Query
+	}
+	cards := engine.CardinalityBatch(o.D, eqs)
+	out := make([]float64, len(qs))
+	for i, c := range cards {
+		if c < 1 {
+			c = 1
+		}
+		out[i] = float64(c)
+	}
+	return out
+}
+
 func inInts(s []int, v int) bool {
 	for _, x := range s {
 		if x == v {

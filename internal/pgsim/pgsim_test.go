@@ -2,6 +2,7 @@ package pgsim
 
 import (
 	"math"
+	"repro/internal/ce"
 	"testing"
 
 	"repro/internal/datagen"
@@ -34,6 +35,10 @@ func fixture(t *testing.T, tables int, seed int64) (*dataset.Dataset, []*workloa
 type badEstimator struct{ d *dataset.Dataset }
 
 func (b *badEstimator) Name() string { return "Bad" }
+
+func (b *badEstimator) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.SerialEstimates(b, qs)
+}
 func (b *badEstimator) Estimate(q *workload.Query) float64 {
 	oracle := Oracle{D: b.d}
 	truth := oracle.Estimate(q)

@@ -17,7 +17,9 @@ import (
 // the baseline to the cardinality estimation testbed, which conducts the
 // dataset labeling and produces the corresponding score vectors."
 // RunWithModels labels a dataset against an arbitrary candidate set, so a
-// new estimator only has to implement one of the ce training interfaces.
+// new estimator only has to implement ce.Model (one Fit plus the
+// estimation surface) — registering it in the ce registry is only needed
+// to join the default zoo.
 
 // Summary selects how per-query Q-errors aggregate into the accuracy
 // measurement. The paper uses the mean and notes other percentiles are
@@ -54,10 +56,10 @@ type ExtendedConfig struct {
 
 // RunWithModels labels one dataset against the caller's own candidate set.
 // The models slice defines the score-vector positions; every entry must be
-// untrained and implement ce.DataDriven, ce.QueryDriven, or ce.Hybrid. The
-// returned Label has Perfs, Sa, and Se of length len(models), normalized
-// among those candidates (Eq. 3-4).
-func RunWithModels(d *dataset.Dataset, models []ce.Estimator, cfg ExtendedConfig) (*Label, time.Duration, error) {
+// an untrained ce.Model (its Fit decides which TrainInput fields to
+// consume). The returned Label has Perfs, Sa, and Se of length
+// len(models), normalized among those candidates (Eq. 3-4).
+func RunWithModels(d *dataset.Dataset, models []ce.Model, cfg ExtendedConfig) (*Label, time.Duration, error) {
 	start := time.Now()
 	if len(models) < 2 {
 		return nil, 0, fmt.Errorf("testbed: need at least two candidate models, got %d", len(models))
@@ -68,37 +70,31 @@ func RunWithModels(d *dataset.Dataset, models []ce.Estimator, cfg ExtendedConfig
 		return nil, 0, fmt.Errorf("testbed: degenerate workload split")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	sample := engine.SampleJoin(d, cfg.SampleRows, rng)
-	sizes := ce.ComputeSubsetSizes(d)
-
+	in := &ce.TrainInput{
+		Dataset: d,
+		Sample:  engine.SampleJoin(d, cfg.SampleRows, rng),
+		Queries: train,
+		Sizes:   ce.ComputeSubsetSizes(d),
+	}
 	for i, m := range models {
-		if sa, ok := m.(ce.SizeAware); ok {
-			sa.SetSubsetSizes(sizes)
-		}
-		var err error
-		switch tm := m.(type) {
-		case ce.Hybrid:
-			err = tm.TrainBoth(d, sample, train)
-		case ce.DataDriven:
-			err = tm.TrainData(d, sample)
-		case ce.QueryDriven:
-			err = tm.TrainQueries(d, train)
-		default:
-			err = fmt.Errorf("implements no training interface")
-		}
-		if err != nil {
+		if err := m.Fit(in); err != nil {
 			return nil, 0, fmt.Errorf("testbed: training model %d (%s): %w", i, m.Name(), err)
 		}
 	}
 
+	truths := make([]float64, len(test))
+	for qi, q := range test {
+		truths[qi] = float64(q.TrueCard)
+	}
 	label := &Label{DatasetName: d.Name, Perfs: make([]metrics.Perf, len(models))}
 	for i, m := range models {
-		qerrs := make([]float64, len(test))
 		t0 := time.Now()
-		for qi, q := range test {
-			qerrs[qi] = metrics.QError(m.Estimate(q), float64(q.TrueCard))
-		}
+		ests := m.EstimateBatch(test)
 		elapsed := time.Since(t0)
+		qerrs := make([]float64, len(test))
+		for qi := range test {
+			qerrs[qi] = metrics.QError(ests[qi], truths[qi])
+		}
 		label.Perfs[i] = metrics.Perf{
 			QErrorMean:  summarize(cfg.QErrorSummary, qerrs),
 			LatencyMean: elapsed.Seconds() / float64(len(test)),

@@ -7,22 +7,21 @@ import (
 	"repro/internal/ce/flat"
 	"repro/internal/ce/pglike"
 	"repro/internal/dataset"
-	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
 // rowCountModel is a deliberately naive "newly-emerged" estimator used to
 // exercise the extensibility path: it estimates every query as the product
 // of the involved tables' row counts (no selectivity at all). It only has
-// to implement ce.DataDriven to join the testbed.
+// to implement ce.Model to join the testbed.
 type rowCountModel struct {
 	d *dataset.Dataset
 }
 
 func (m *rowCountModel) Name() string { return "RowCount" }
 
-func (m *rowCountModel) TrainData(d *dataset.Dataset, _ *engine.JoinSample) error {
-	m.d = d
+func (m *rowCountModel) Fit(in *ce.TrainInput) error {
+	m.d = in.Dataset
 	return nil
 }
 
@@ -34,10 +33,14 @@ func (m *rowCountModel) Estimate(q *workload.Query) float64 {
 	return est
 }
 
+func (m *rowCountModel) EstimateBatch(qs []*workload.Query) []float64 {
+	return ce.ParallelEstimates(m, qs)
+}
+
 func TestRunWithModelsIncorporatesNewBaseline(t *testing.T) {
 	d := fixture(t, 2, 7)
 	cfg := ExtendedConfig{Config: fastCfg(7)}
-	models := []ce.Estimator{pglike.New(), &rowCountModel{}}
+	models := []ce.Model{pglike.New(), &rowCountModel{}}
 	label, elapsed, err := RunWithModels(d, models, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +62,7 @@ func TestRunWithModelsPercentileSummary(t *testing.T) {
 	d := fixture(t, 1, 8)
 	for _, s := range []Summary{SummaryMean, SummaryP50, SummaryP95, SummaryP99} {
 		cfg := ExtendedConfig{Config: fastCfg(8), QErrorSummary: s}
-		label, _, err := RunWithModels(d, []ce.Estimator{pglike.New(), &rowCountModel{}}, cfg)
+		label, _, err := RunWithModels(d, []ce.Model{pglike.New(), &rowCountModel{}}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,11 +75,11 @@ func TestRunWithModelsPercentileSummary(t *testing.T) {
 	// P99 of the naive model should be at least its median.
 	cfgP50 := ExtendedConfig{Config: fastCfg(8), QErrorSummary: SummaryP50}
 	cfgP99 := ExtendedConfig{Config: fastCfg(8), QErrorSummary: SummaryP99}
-	l50, _, err := RunWithModels(d, []ce.Estimator{pglike.New(), &rowCountModel{}}, cfgP50)
+	l50, _, err := RunWithModels(d, []ce.Model{pglike.New(), &rowCountModel{}}, cfgP50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l99, _, err := RunWithModels(d, []ce.Estimator{pglike.New(), &rowCountModel{}}, cfgP99)
+	l99, _, err := RunWithModels(d, []ce.Model{pglike.New(), &rowCountModel{}}, cfgP99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func TestRunWithModelsPercentileSummary(t *testing.T) {
 
 func TestRunWithModelsRejectsDegenerateInput(t *testing.T) {
 	d := fixture(t, 1, 9)
-	if _, _, err := RunWithModels(d, []ce.Estimator{pglike.New()}, ExtendedConfig{Config: fastCfg(9)}); err == nil {
+	if _, _, err := RunWithModels(d, []ce.Model{pglike.New()}, ExtendedConfig{Config: fastCfg(9)}); err == nil {
 		t.Fatal("single-model candidate set accepted")
 	}
 }
@@ -98,7 +101,7 @@ func TestRunWithModelsOnboardsFLAT(t *testing.T) {
 	// through the extensible labeling path.
 	d := fixture(t, 2, 10)
 	cfg := ExtendedConfig{Config: fastCfg(10)}
-	models := []ce.Estimator{flat.New(flat.DefaultConfig()), pglike.New(), &rowCountModel{}}
+	models := []ce.Model{flat.New(flat.DefaultConfig()), pglike.New(), &rowCountModel{}}
 	label, _, err := RunWithModels(d, models, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -10,39 +10,37 @@ import (
 	"repro/internal/workload"
 )
 
-// RunQueryDriven labels a dataset with the query-driven models only, on an
-// externally supplied workload — the protocol of the paper's Table III
-// (CEB benchmark), where the data-driven models are skipped for cost. The
-// returned Label has full-length vectors; non-query-driven positions carry
-// zero scores and zero Perfs and must not be interpreted.
+// RunQueryDriven labels a dataset with the query-driven candidates only,
+// on an externally supplied workload — the protocol of the paper's Table
+// III (CEB benchmark), where the data-driven models are skipped for cost.
+// The candidate subset is derived from the registry (QueryDrivenSet). The
+// returned Label has full-length vectors; other positions carry zero
+// scores and zero Perfs and must not be interpreted.
 func RunQueryDriven(d *dataset.Dataset, train, test []*workload.Query, cfg Config) (*Label, error) {
 	if len(train) == 0 || len(test) == 0 {
 		return nil, fmt.Errorf("testbed: empty query-driven workload")
 	}
-	models := buildModels(cfg)
+	models := ce.NewModels(cfg.zooConfig())
 	qd := QueryDrivenSet()
 	label := &Label{
 		DatasetName: d.Name,
-		Perfs:       make([]metrics.Perf, NumModels),
+		Perfs:       make([]metrics.Perf, len(models)),
 		Sa:          make([]float64, NumCandidates),
 		Se:          make([]float64, NumCandidates),
 	}
+	in := &ce.TrainInput{Dataset: d, Queries: train}
+	truths := make([]float64, len(test))
+	for qi, q := range test {
+		truths[qi] = float64(q.TrueCard)
+	}
 	var perfs []metrics.Perf
 	for _, mi := range qd {
-		qm, ok := models[mi].(ce.QueryDriven)
-		if !ok {
-			return nil, fmt.Errorf("testbed: model %s is not query-driven", ModelNames[mi])
+		m := models[mi]
+		if err := m.Fit(in); err != nil {
+			return nil, fmt.Errorf("testbed: training %s: %w", m.Name(), err)
 		}
-		if err := qm.TrainQueries(d, train); err != nil {
-			return nil, fmt.Errorf("testbed: training %s: %w", ModelNames[mi], err)
-		}
-		ests := make([]float64, len(test))
-		truths := make([]float64, len(test))
 		t0 := time.Now()
-		for qi, q := range test {
-			ests[qi] = qm.Estimate(q)
-			truths[qi] = float64(q.TrueCard)
-		}
+		ests := m.EstimateBatch(test)
 		elapsed := time.Since(t0)
 		p := metrics.Perf{
 			QErrorMean:  metrics.MeanQError(ests, truths),

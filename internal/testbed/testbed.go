@@ -1,11 +1,16 @@
 // Package testbed implements the paper's unified cardinality-estimation
 // testbed (Section IV-B): for each dataset it generates a workload,
 // acquires true cardinalities from the execution engine, trains every
-// candidate CE model (data-driven models on the join sample, query-driven
-// models on the labeled training queries, hybrid models on both), measures
-// mean Q-error and mean inference latency on the testing queries, and
-// normalizes the measurements into score vectors (Eq. 2-4) — the labels
-// that AutoCE's graph encoder learns from.
+// registered CE model through the unified ce.Model lifecycle (one
+// Fit(*ce.TrainInput) per model; the model's registered Kind declares
+// which input fields it consumes), measures mean Q-error and mean
+// inference latency on the testing queries via the batched estimation
+// path, and normalizes the measurements into score vectors (Eq. 2-4) —
+// the labels that AutoCE's graph encoder learns from.
+//
+// The model zoo itself lives in the ce registry (populated by the blank
+// zoo import below); the testbed derives model order, names, and the
+// candidate set from it rather than hard-coding them.
 package testbed
 
 import (
@@ -14,63 +19,63 @@ import (
 	"time"
 
 	"repro/internal/ce"
-	"repro/internal/ce/bayescard"
-	"repro/internal/ce/deepdb"
-	"repro/internal/ce/ensemble"
-	"repro/internal/ce/lwnn"
-	"repro/internal/ce/lwxgb"
-	"repro/internal/ce/mscn"
-	"repro/internal/ce/neurocard"
-	"repro/internal/ce/pglike"
-	"repro/internal/ce/uae"
+	_ "repro/internal/ce/zoo" // register the paper's nine baselines
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
-// Model indexes into the fixed registry. The first seven entries are the
-// paper's candidate set M (three query-driven, three data-driven, one
-// hybrid); Postgres and Ensemble complete the nine baselines of Section
-// VII-A — they are measured (Perfs) for the Figure 9 and Table V
-// comparisons but are not selection candidates.
-const (
-	ModelMSCN = iota
-	ModelLWNN
-	ModelLWXGB
-	ModelDeepDB
-	ModelBayesCard
-	ModelNeuroCard
-	ModelUAE
-	ModelPostgres
-	ModelEnsemble
-	NumModels
+// Registry-derived model facts, fixed at init (the zoo import above runs
+// first). The first seven registry entries are the paper's candidate set M
+// (three query-driven, three data-driven, one hybrid); Postgres and
+// Ensemble complete the nine baselines of Section VII-A — they are
+// measured (Perfs) for the Figure 9 and Table V comparisons but are not
+// selection candidates.
+var (
+	// ModelNames lists the registry names in registry (rank) order.
+	ModelNames = ce.Names()
+	// NumModels is the registry size.
+	NumModels = ce.NumModels()
+	// NumCandidates is |M|, the candidate-set size.
+	NumCandidates = ce.NumCandidates()
 )
 
-// NumCandidates is the size of the paper's candidate set M: the seven
-// learned models the advisor selects among. Postgres and Ensemble are
-// measured for the Figure 9 and Table V comparisons but are not selection
-// candidates.
-const NumCandidates = ModelPostgres
-
 // Candidates returns the registry indexes of the candidate set M.
-func Candidates() []int {
-	out := make([]int, NumCandidates)
-	for i := range out {
-		out[i] = i
+func Candidates() []int { return ce.CandidateIndexes() }
+
+// ModelIndex returns the registry index of a model name, or -1.
+func ModelIndex(name string) int { return ce.Index(name) }
+
+// CandidateModelName maps a candidate-set index — the position inside the
+// advisor's Sa/Se label vectors and Recommendation.Scores — to the
+// registry model name. While the candidate set occupies the registry
+// prefix the two index spaces coincide, but a registered non-prefix
+// candidate would silently shift them apart, so consumers of advisor
+// output must translate through this (or Candidates()) rather than
+// indexing ModelNames directly.
+func CandidateModelName(i int) (string, bool) {
+	cands := Candidates()
+	if i < 0 || i >= len(cands) {
+		return "", false
 	}
-	return out
+	return ModelNames[cands[i]], true
 }
 
-// ModelNames lists the registry names in index order.
-var ModelNames = []string{
-	"MSCN", "LW-NN", "LW-XGB", "DeepDB", "BayesCard", "NeuroCard", "UAE",
-	"Postgres", "Ensemble",
+// CandidateModelLabel is CandidateModelName with a "?" fallback, for
+// display code (reports, examples).
+func CandidateModelLabel(i int) string {
+	name, ok := CandidateModelName(i)
+	if !ok {
+		return "?"
+	}
+	return name
 }
 
-// QueryDrivenSet reports which registry entries are query-driven; the
-// Table III (CEB) experiment restricts itself to these, as the paper does.
-func QueryDrivenSet() []int { return []int{ModelMSCN, ModelLWNN, ModelLWXGB} }
+// QueryDrivenSet reports which candidate registry entries are query-
+// driven; the Table III (CEB) experiment restricts itself to these, as the
+// paper does.
+func QueryDrivenSet() []int { return ce.CandidateIndexesOfKind(ce.QueryDriven) }
 
 // Config controls one labeling run.
 type Config struct {
@@ -92,6 +97,9 @@ type Config struct {
 func DefaultConfig(seed int64) Config {
 	return Config{NumQueries: 220, TrainFrac: 0.55, SampleRows: 1200, Seed: seed}
 }
+
+// zooConfig maps a labeling run onto the registry's shared configuration.
+func (cfg Config) zooConfig() ce.Config { return ce.Config{Fast: cfg.Fast, Seed: cfg.Seed} }
 
 // Label is the testbed's output for one dataset. Perfs holds the raw
 // measurements for all NumModels registry entries; Sa and Se are the
@@ -128,7 +136,7 @@ func (l *Label) FullScoreVector(wa float64) []float64 {
 // workload.
 type Result struct {
 	Label  *Label
-	Models []ce.Estimator
+	Models []ce.Model
 	Train  []*workload.Query
 	Test   []*workload.Query
 	// LabelingTime is the wall-clock cost of the full run — the quantity
@@ -136,50 +144,13 @@ type Result struct {
 	LabelingTime time.Duration
 }
 
-// buildModels constructs the untrained registry for one run.
-func buildModels(cfg Config) []ce.Estimator {
-	mscnCfg := mscn.DefaultConfig()
-	lwnnCfg := lwnn.DefaultConfig()
-	lwxgbCfg := lwxgb.DefaultConfig()
-	ddCfg := deepdb.DefaultConfig()
-	bcCfg := bayescard.DefaultConfig()
-	ncCfg := neurocard.DefaultConfig()
-	uaeCfg := uae.DefaultConfig()
-	if cfg.Fast {
-		mscnCfg.Epochs = 6
-		lwnnCfg.Epochs = 8
-		lwxgbCfg.GBT.Rounds = 20
-		ncCfg.Epochs = 2
-		ncCfg.Samples = 24
-		uaeCfg.Epochs = 2
-		uaeCfg.Samples = 24
-		uaeCfg.CorrEpochs = 6
-	}
-	mscnCfg.Seed = cfg.Seed + 11
-	lwnnCfg.Seed = cfg.Seed + 12
-	ddCfg.Seed = cfg.Seed + 13
-	ncCfg.Seed = cfg.Seed + 14
-	uaeCfg.Seed = cfg.Seed + 15
-	return []ce.Estimator{
-		mscn.New(mscnCfg),
-		lwnn.New(lwnnCfg),
-		lwxgb.New(lwxgbCfg),
-		deepdb.New(ddCfg),
-		bayescard.New(bcCfg),
-		neurocard.New(ncCfg),
-		uae.New(uaeCfg),
-		pglike.New(),
-		nil, // Ensemble is assembled after the members are trained.
-	}
-}
-
 // Prepared is a labeling run staged between phases: the workload has been
 // generated and labeled by the oracle, the join sample drawn, and the
-// untrained model registry built. Model training jobs (TrainModel) are
+// untrained registry instantiated. Model training jobs (TrainModel) are
 // independent of each other — every model owns its RNG, seeded from the
-// run configuration, and only reads the shared dataset/sample/sizes — so a
-// corpus driver can fan (dataset, model) pairs over a worker pool and
-// still produce exactly the labels of the serial path.
+// run configuration, and only reads the shared TrainInput — so a corpus
+// driver can fan (dataset, model) pairs over a worker pool and still
+// produce exactly the labels of the serial path.
 type Prepared struct {
 	D      *dataset.Dataset
 	Cfg    Config
@@ -187,15 +158,18 @@ type Prepared struct {
 	Test   []*workload.Query
 	Sample *engine.JoinSample
 	Sizes  *ce.SubsetSizes
-	Models []ce.Estimator
+	Models []ce.Model
 
+	specs []ce.Spec
+	input *ce.TrainInput
 	start time.Time
 }
 
 // Prepare stages a labeling run for d: it generates the workload with true
 // cardinalities acquired from the engine's batched oracle (shared
 // per-dataset join index, one evaluator per worker; see workload.Label),
-// splits it, draws the join sample, and builds the untrained registry.
+// splits it, draws the join sample, and instantiates the untrained
+// registry.
 func Prepare(d *dataset.Dataset, cfg Config) (*Prepared, error) {
 	p := &Prepared{D: d, Cfg: cfg, start: time.Now()}
 	qs := workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
@@ -208,68 +182,70 @@ func Prepare(d *dataset.Dataset, cfg Config) (*Prepared, error) {
 	// Join-subset sizes are shared across the data-driven models instead
 	// of each recomputing them.
 	p.Sizes = ce.ComputeSubsetSizes(d)
-	p.Models = buildModels(cfg)
-	for _, m := range p.Models {
-		if sa, ok := m.(ce.SizeAware); ok {
-			sa.SetSubsetSizes(p.Sizes)
-		}
-	}
+	p.specs = ce.Specs()
+	p.Models = ce.NewModels(cfg.zooConfig())
+	p.input = &ce.TrainInput{Dataset: d, Sample: p.Sample, Queries: p.Train, Sizes: p.Sizes}
 	return p, nil
 }
 
 // NumModels returns the registry size, the number of TrainModel jobs.
 func (p *Prepared) NumModels() int { return len(p.Models) }
 
-// TrainModel trains registry entry i. Jobs are mutually independent and
-// touch only read-only shared state, so distinct indexes may run
-// concurrently (also across Prepared instances).
+// TrainModel trains registry entry i through the unified lifecycle. Jobs
+// are mutually independent and touch only read-only shared state, so
+// distinct indexes may run concurrently (also across Prepared instances).
+// Composite models (the ensemble) have no independent training phase;
+// Finish fits them on the trained members.
 func (p *Prepared) TrainModel(i int) error {
-	m := p.Models[i]
-	if m == nil {
+	if p.specs[i].Kind == ce.Composite {
 		return nil
 	}
-	var err error
-	switch tm := m.(type) {
-	case ce.Hybrid:
-		err = tm.TrainBoth(p.D, p.Sample, p.Train)
-	case ce.DataDriven:
-		err = tm.TrainData(p.D, p.Sample)
-	case ce.QueryDriven:
-		err = tm.TrainQueries(p.D, p.Train)
-	default:
-		err = fmt.Errorf("model %s implements no training interface", m.Name())
-	}
-	if err != nil {
-		return fmt.Errorf("testbed: training %s on %s: %w", ModelNames[i], p.D.Name, err)
+	if err := p.Models[i].Fit(p.input); err != nil {
+		return fmt.Errorf("testbed: training %s on %s: %w", p.specs[i].Name, p.D.Name, err)
 	}
 	return nil
 }
 
-// Finish assembles the ensemble, measures every model on the testing
-// queries, and normalizes the scores into the label.
+// Finish fits the composite models on the trained candidates, measures
+// every model on the testing queries through the batched estimation path,
+// and normalizes the scores into the label.
 func (p *Prepared) Finish() (*Result, error) {
 	models := p.Models
-	members := make([]ce.Estimator, 0, NumModels-2)
-	for i := 0; i < ModelPostgres; i++ {
-		members = append(members, models[i])
+	// Calibrate composites on a cloned (not aliased) bounded slice of the
+	// training queries to keep labeling cost bounded.
+	calibN := len(p.Train)
+	if calibN > 40 {
+		calibN = 40
 	}
-	// Calibrate the ensemble on a slice of the training queries to keep
-	// labeling cost bounded.
-	calib := p.Train
-	if len(calib) > 40 {
-		calib = calib[:40]
+	calib := append([]*workload.Query(nil), p.Train[:calibN]...)
+	members := make([]ce.Estimator, 0, NumCandidates)
+	for _, ci := range Candidates() {
+		members = append(members, models[ci])
 	}
-	models[ModelEnsemble] = ensemble.New(members, calib)
-
-	label := &Label{DatasetName: p.D.Name, Perfs: make([]metrics.Perf, NumModels)}
-	for i, m := range models {
-		ests := make([]float64, len(p.Test))
-		truths := make([]float64, len(p.Test))
-		t0 := time.Now()
-		for qi, q := range p.Test {
-			ests[qi] = m.Estimate(q)
-			truths[qi] = float64(q.TrueCard)
+	for i, spec := range p.specs {
+		if spec.Kind != ce.Composite {
+			continue
 		}
+		err := models[i].Fit(&ce.TrainInput{Dataset: p.D, Members: members, Queries: calib})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: assembling %s on %s: %w", spec.Name, p.D.Name, err)
+		}
+	}
+
+	// Truths are assembled outside the timed region, so LatencyMean
+	// measures estimation alone. Measurement rides EstimateBatch — the
+	// serving hot path — deliberately: Se scores efficiency as served,
+	// so models whose batch path parallelizes or vectorizes are credited
+	// for it (on a single-core box this coincides with the historical
+	// per-query loop; estimates themselves are bit-identical either way).
+	truths := make([]float64, len(p.Test))
+	for qi, q := range p.Test {
+		truths[qi] = float64(q.TrueCard)
+	}
+	label := &Label{DatasetName: p.D.Name, Perfs: make([]metrics.Perf, len(models))}
+	for i, m := range models {
+		t0 := time.Now()
+		ests := m.EstimateBatch(p.Test)
 		elapsed := time.Since(t0)
 		label.Perfs[i] = metrics.Perf{
 			QErrorMean:  metrics.MeanQError(ests, truths),
@@ -308,4 +284,32 @@ func LabelOnly(d *dataset.Dataset, cfg Config) (*Label, error) {
 		return nil, err
 	}
 	return res.Label, nil
+}
+
+// NewTrainInput stages a standalone training input for one dataset: an
+// oracle-labeled workload (all of it used for training), a join sample,
+// and the shared subset sizes. It is the serving path's onramp — the
+// /train endpoint feeds the result to a single registry model's Fit —
+// and generally the cheapest way to train one model outside a full
+// labeling run.
+func NewTrainInput(d *dataset.Dataset, cfg Config) *ce.TrainInput {
+	return NewTrainInputFor(d, cfg, ce.Hybrid)
+}
+
+// NewTrainInputFor is NewTrainInput specialized to the training kind of
+// the one model being fitted, building only the input halves that kind
+// consumes: query-driven models read no join sample or subset sizes
+// (skipping the exact subset-size enumeration), and data-driven models
+// read no labeled workload (skipping oracle labeling).
+func NewTrainInputFor(d *dataset.Dataset, cfg Config, kind ce.Kind) *ce.TrainInput {
+	in := &ce.TrainInput{Dataset: d}
+	if kind != ce.DataDriven {
+		in.Queries = workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
+	}
+	if kind != ce.QueryDriven {
+		rng := rand.New(rand.NewSource(cfg.Seed + 2))
+		in.Sample = engine.SampleJoin(d, cfg.SampleRows, rng)
+		in.Sizes = ce.ComputeSubsetSizes(d)
+	}
+	return in
 }

@@ -93,8 +93,8 @@ func TestRunLabelsMultiTableDataset(t *testing.T) {
 	}
 	// Latency ordering that the paper's Figure 1(c) relies on: the
 	// sampling-based autoregressive models are the slowest.
-	ncLat := l.Perfs[ModelNeuroCard].LatencyMean
-	lwLat := l.Perfs[ModelLWNN].LatencyMean
+	ncLat := l.Perfs[ModelIndex("NeuroCard")].LatencyMean
+	lwLat := l.Perfs[ModelIndex("LW-NN")].LatencyMean
 	if ncLat <= lwLat {
 		t.Fatalf("NeuroCard latency %g should exceed LW-NN latency %g", ncLat, lwLat)
 	}

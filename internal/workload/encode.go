@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 
 	"repro/internal/dataset"
@@ -11,27 +14,37 @@ import (
 // MSCN-family encoding: a table-set one-hot block, a join-set one-hot
 // block, and a per-column predicate block holding (present, lo, hi)
 // normalized into [0,1] by the column's value range.
+//
+// An Encoder is self-contained (it copies the schema facts it needs rather
+// than holding the dataset) and gob-serializable, so trained query-driven
+// models embed it in their artifacts.
 type Encoder struct {
-	d *dataset.Dataset
 	// colIndex maps (table,col) to a dense column slot.
 	colIndex map[[2]int]int
+	// colKeys lists the (table,col) pairs in slot order (the serialized
+	// form of colIndex).
+	colKeys [][2]int
 	// colLo and colRange cache per-slot normalization constants.
 	colLo, colRange []float64
-	numTables       int
-	numJoins        int
+	// fks copies the dataset's FK edges; Encode matches query joins
+	// against them to fill the join block.
+	fks       []dataset.ForeignKey
+	numTables int
+	numJoins  int
 }
 
 // NewEncoder builds an encoder for dataset d.
 func NewEncoder(d *dataset.Dataset) *Encoder {
 	e := &Encoder{
-		d:         d,
 		colIndex:  map[[2]int]int{},
+		fks:       append([]dataset.ForeignKey(nil), d.FKs...),
 		numTables: len(d.Tables),
 		numJoins:  len(d.FKs),
 	}
 	for ti, t := range d.Tables {
 		for ci, c := range t.Cols {
 			e.colIndex[[2]int{ti, ci}] = len(e.colLo)
+			e.colKeys = append(e.colKeys, [2]int{ti, ci})
 			lo, hi := c.MinMax()
 			e.colLo = append(e.colLo, float64(lo))
 			r := float64(hi - lo)
@@ -61,7 +74,7 @@ func (e *Encoder) Encode(q *Query) []float64 {
 	}
 	base := e.numTables
 	for _, j := range q.Joins {
-		for fi, fk := range e.d.FKs {
+		for fi, fk := range e.fks {
 			if fk.FromTable == j.LeftTable && fk.FromCol == j.LeftCol &&
 				fk.ToTable == j.RightTable && fk.ToCol == j.RightCol {
 				v[base+fi] = 1
@@ -88,6 +101,43 @@ func (e *Encoder) EncodeBatch(qs []*Query) [][]float64 {
 		out[i] = e.Encode(q)
 	}
 	return out
+}
+
+// encoderState is the gob form of an Encoder.
+type encoderState struct {
+	ColKeys          [][2]int
+	ColLo, ColRange  []float64
+	FKs              []dataset.ForeignKey
+	Tables, NumJoins int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (e *Encoder) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&encoderState{
+		ColKeys: e.colKeys, ColLo: e.colLo, ColRange: e.colRange,
+		FKs: e.fks, Tables: e.numTables, NumJoins: e.numJoins,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (e *Encoder) GobDecode(data []byte) error {
+	var st encoderState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("workload: decoding encoder: %w", err)
+	}
+	if len(st.ColKeys) != len(st.ColLo) || len(st.ColLo) != len(st.ColRange) {
+		return fmt.Errorf("workload: encoder state has %d/%d/%d column entries",
+			len(st.ColKeys), len(st.ColLo), len(st.ColRange))
+	}
+	e.colKeys, e.colLo, e.colRange = st.ColKeys, st.ColLo, st.ColRange
+	e.fks, e.numTables, e.numJoins = st.FKs, st.Tables, st.NumJoins
+	e.colIndex = make(map[[2]int]int, len(st.ColKeys))
+	for slot, key := range st.ColKeys {
+		e.colIndex[key] = slot
+	}
+	return nil
 }
 
 // LogCard returns the training target for a query: log(1 + truecard).
