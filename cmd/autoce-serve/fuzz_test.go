@@ -1,0 +1,122 @@
+package main
+
+// Native fuzzers for the two request decoders with the largest attack
+// surface: the /datasets columnar payload (drives dataset construction
+// and validation) and the /estimate payload (drives query validation
+// against an onboarded schema). Neither may panic on any input, and
+// anything they accept must satisfy the invariants the handlers rely on.
+// Corpus seeds live in testdata/fuzz; CI fuzzes each briefly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzDatasetPayload: arbitrary JSON through the strict decoder and
+// toDataset must never panic; an accepted dataset passes Validate and
+// respects the onboarding limits.
+func FuzzDatasetPayload(f *testing.F) {
+	f.Add([]byte(`{"name":"db1","tables":[{"name":"t0","pk":0,"cols":[{"name":"c0","data":[1,2,3]},{"name":"c1","data":[4,5,6]}]}]}`))
+	f.Add([]byte(`{"name":"db2","tables":[{"cols":[{"data":[1]}]},{"cols":[{"data":[2,3]}]}],"fks":[{"from_table":1,"from_col":0,"to_table":0,"to_col":0}]}`))
+	f.Add([]byte(`{"name":"","tables":[]}`))
+	f.Add([]byte(`{"name":"x","tables":[{"pk":-7,"cols":[{"data":[0,0,0]}]}]}`))
+	f.Add([]byte(`{"tables":[{"cols":[{"data":null}]}]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var req datasetRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		d, err := req.toDataset()
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("toDataset accepted a dataset failing Validate: %v\npayload: %s", err, raw)
+		}
+		if len(d.Tables) == 0 || len(d.Tables) > maxDatasetTables {
+			t.Fatalf("toDataset accepted %d tables (limit %d)", len(d.Tables), maxDatasetTables)
+		}
+		cells := 0
+		for _, tb := range d.Tables {
+			for _, c := range tb.Cols {
+				cells += len(c.Data)
+			}
+		}
+		if cells > maxDatasetCells {
+			t.Fatalf("toDataset accepted %d cells (limit %d)", cells, maxDatasetCells)
+		}
+	})
+}
+
+// FuzzEstimatePayload: arbitrary JSON through the strict decoder and
+// toQuery against a fixed two-table schema must never panic; the
+// handlers index datasets with whatever toQuery accepts.
+func FuzzEstimatePayload(f *testing.F) {
+	f.Add([]byte(`{"dataset":"db1","query":{"tables":[0],"preds":[{"table":0,"col":1,"lo":1,"hi":5}]}}`))
+	f.Add([]byte(`{"dataset":"db1","queries":[{"tables":[0,1],"joins":[{"left_table":1,"left_col":1,"right_table":0,"right_col":0}]}]}`))
+	f.Add([]byte(`{"query":{"tables":[2]}}`))
+	f.Add([]byte(`{"query":{"tables":[0],"preds":[{"table":0,"col":99}]}}`))
+	f.Add([]byte(`{"query":{"tables":[-1]}}`))
+	f.Add([]byte(`{"queries":[null]}`))
+
+	// The schema every fuzzed query validates against: two joined tables,
+	// shared read-only across iterations (toQuery only reads it).
+	d := &dataset.Dataset{
+		Name: "db1",
+		Tables: []*dataset.Table{
+			{Name: "t0", PKCol: 0, Cols: []*dataset.Column{
+				dataset.NewColumn("pk", []int64{0, 1, 2, 3}),
+				dataset.NewColumn("v", []int64{5, 6, 7, 8}),
+			}},
+			{Name: "t1", PKCol: -1, Cols: []*dataset.Column{
+				dataset.NewColumn("w", []int64{9, 9, 8, 8}),
+				dataset.NewColumn("fk", []int64{0, 0, 1, 3}),
+			}},
+		},
+		FKs: []dataset.ForeignKey{{FromTable: 1, FromCol: 1, ToTable: 0, ToCol: 0}},
+	}
+	if err := d.Validate(); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var req estimateRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		payloads := req.Queries
+		if req.Query != nil {
+			payloads = append(payloads, req.Query)
+		}
+		for _, p := range payloads {
+			if p == nil {
+				continue // the handler 400s null entries before toQuery
+			}
+			q, err := p.toQuery(d)
+			if err != nil {
+				continue
+			}
+			// Accepted queries are safe to index the dataset with — the
+			// invariant every estimator relies on.
+			for _, ti := range q.Tables {
+				if ti < 0 || ti >= len(d.Tables) {
+					t.Fatalf("toQuery accepted out-of-range table %d: %s", ti, raw)
+				}
+			}
+			for _, pr := range q.Preds {
+				if pr.Table < 0 || pr.Table >= len(d.Tables) ||
+					pr.Col < 0 || pr.Col >= d.Tables[pr.Table].NumCols() {
+					t.Fatalf("toQuery accepted out-of-range predicate %+v: %s", pr, raw)
+				}
+			}
+		}
+	})
+}

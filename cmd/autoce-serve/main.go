@@ -34,6 +34,8 @@
 //	GET  /models     -> the estimator registry (name/kind/candidate) and
 //	                    the trained models per dataset
 //	GET  /healthz    -> liveness plus RCS/dataset/model counts
+//	GET  /readyz     -> readiness: 200 while accepting traffic, 503 once
+//	                    shutdown begins (load-balancer drain signal)
 //
 // The graph payload is the feature graph of internal/feature: "v" is the
 // n×VertexDim vertex matrix, "e" the n×n weighted adjacency matrix. Query
@@ -45,7 +47,23 @@
 // /recommend, /drift, and /estimate calls proceed concurrently; /adapt,
 // /datasets, and /train mutate in the background of those reads and
 // atomically publish successor snapshots. Shutdown is graceful:
-// SIGINT/SIGTERM stop the listener and drain in-flight requests.
+// SIGINT/SIGTERM flip /readyz to 503, stop the listener, and drain
+// in-flight requests.
+//
+// # Resilience
+//
+// Every endpoint runs under a deadline and an admission class (the table
+// in resilience.go lists both). Cheap snapshot reads and expensive
+// mutators admit through disjoint semaphores, so saturating /train or
+// /datasets never blocks /estimate: overload sheds with 503 +
+// Retry-After (429 for a full train queue) while estimates keep flowing
+// from the published snapshot. Handler panics are recovered (500, server
+// stays up), and a panic inside model inference quarantines that one
+// served model (503 for it alone) until it is retrained. Model artifacts
+// are checksummed on disk; a truncated or bit-flipped artifact is
+// quarantined to .corrupt and skipped on reload instead of being served.
+// Fault injection for all of the above is armed via AUTOCE_FAILPOINTS
+// (see internal/resilience).
 //
 // Usage:
 //
@@ -71,6 +89,7 @@ import (
 	"repro/internal/ce"
 	"repro/internal/core"
 	"repro/internal/feature"
+	"repro/internal/resilience"
 	"repro/internal/testbed"
 )
 
@@ -79,6 +98,13 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelDir := flag.String("model-dir", "", "directory for trained-model artifacts; /train persists into it and /datasets reloads from it (empty = in-memory only)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slow-loris bound)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout (full-request read bound; covers a 64 MiB /datasets upload)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout backstop; per-endpoint deadlines govern handler time (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	estimateDeadline := flag.Duration("estimate-deadline", 0, "per-request deadline for /estimate (0 = default 5s)")
+	trainDeadline := flag.Duration("train-deadline", 0, "per-request deadline for /train (0 = default 120s)")
+	onboardDeadline := flag.Duration("onboard-deadline", 0, "per-request deadline for /datasets and /adapt (0 = default 60s)")
 	flag.Parse()
 	if *advisorPath == "" {
 		fmt.Fprintln(os.Stderr, "autoce-serve: -advisor is required")
@@ -104,7 +130,23 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(adv, store)}
+	if fps := resilience.ActiveFailpoints(); len(fps) > 0 {
+		log.Printf("WARNING: fault injection armed via %s: %v", resilience.FailpointEnv, fps)
+	}
+
+	app := newServerOpts(adv, store, serveOptions{
+		EstimateDeadline: *estimateDeadline,
+		TrainDeadline:    *trainDeadline,
+		OnboardDeadline:  *onboardDeadline,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           app,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
@@ -117,6 +159,7 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
+	app.ready.Store(false) // /readyz goes 503: drain signal for load balancers
 	log.Print("shutting down (draining in-flight requests)...")
 	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancelShutdown()
@@ -136,23 +179,49 @@ type server struct {
 	// their trained models; zooMu serializes mutators (see models.go).
 	zoo   atomic.Pointer[zooState]
 	zooMu sync.Mutex
+
+	// adm is the two-class admission controller; opts carries the
+	// per-endpoint deadlines (see resilience.go).
+	adm  *resilience.Admission
+	opts serveOptions
+	// ready gates /readyz: true from construction until shutdown begins.
+	ready atomic.Bool
+
+	handler http.Handler
 }
 
-// newServer wires the endpoint handlers onto a mux (split out of main so
-// the httptest suite can drive the exact production routing).
+// ServeHTTP serves the wired mux (recovery middleware outermost).
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// newServer wires the endpoint handlers with the default resilience
+// policy (split out of main so the httptest suite can drive the exact
+// production routing).
 func newServer(adv *core.Advisor, store *ce.Store) http.Handler {
-	s := &server{adv: adv, store: store}
+	return newServerOpts(adv, store, serveOptions{})
+}
+
+// newServerOpts is newServer with an explicit resilience policy; tests
+// shrink deadlines and class sizes through it.
+func newServerOpts(adv *core.Advisor, store *ce.Store, opts serveOptions) *server {
+	s := &server{adv: adv, store: store, opts: opts.withDefaults()}
+	s.adm = resilience.NewAdmission(s.opts.Admission)
 	s.zoo.Store(&zooState{tenants: map[string]*tenant{}})
+	s.ready.Store(true)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/recommend", s.handleRecommend)
-	mux.HandleFunc("/drift", s.handleDrift)
-	mux.HandleFunc("/adapt", s.handleAdapt)
-	mux.HandleFunc("/datasets", s.handleDatasets)
-	mux.HandleFunc("/train", s.handleTrain)
-	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/recommend", s.cheap(s.opts.QuickDeadline, s.handleRecommend))
+	mux.HandleFunc("/drift", s.cheap(s.opts.QuickDeadline, s.handleDrift))
+	mux.HandleFunc("/adapt", s.heavy(s.opts.OnboardDeadline, s.handleAdapt))
+	mux.HandleFunc("/datasets", s.heavy(s.opts.OnboardDeadline, s.handleDatasets))
+	mux.HandleFunc("/train", withDeadline(s.opts.TrainDeadline, s.handleTrain))
+	// /estimate admits itself: the weight is the decoded batch size.
+	mux.HandleFunc("/estimate", withDeadline(s.opts.EstimateDeadline, s.handleEstimate))
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	s.handler = recovered(mux)
+	return s
 }
 
 // graphPayload is the JSON form of a feature graph.

@@ -15,18 +15,23 @@ package main
 // estimators stay correct under concurrent /estimate traffic.
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ce"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/feature"
+	"repro/internal/resilience"
 	"repro/internal/testbed"
 	"repro/internal/workload"
 )
@@ -55,6 +60,11 @@ type servedModel struct {
 	// mu guards models whose inference mutates internal state (sampling
 	// RNGs); nil for concurrent-safe models.
 	mu *sync.Mutex
+	// quarantined marks a model whose inference panicked. Snapshot clones
+	// share servedModel pointers, so the flag survives republishes of
+	// other models and clears only when this (dataset, model) pair is
+	// retrained — which replaces the servedModel wholesale.
+	quarantined atomic.Bool
 }
 
 func newServedModel(spec ce.Spec, m ce.Model) *servedModel {
@@ -65,13 +75,36 @@ func newServedModel(spec ce.Spec, m ce.Model) *servedModel {
 	return sm
 }
 
-// estimate runs the batched hot path under the model's guard (if any).
-func (sm *servedModel) estimate(qs []*workload.Query) []float64 {
-	if sm.mu != nil {
-		sm.mu.Lock()
-		defer sm.mu.Unlock()
+// errModelQuarantined reports inference against a model whose earlier
+// inference panicked; only retraining clears it.
+var errModelQuarantined = errors.New("model is quarantined after an inference panic; retrain it")
+
+// estimate runs the batched hot path under the model's guard (if any),
+// fenced: a panic inside this model's inference is converted to an error
+// and quarantines the model — subsequent estimates against it fail fast
+// with 503 while every other served model keeps answering. The context
+// bounds the batch (chunked, cooperative).
+func (sm *servedModel) estimate(ctx context.Context, qs []*workload.Query) ([]float64, error) {
+	if sm.quarantined.Load() {
+		return nil, errModelQuarantined
 	}
-	return sm.model.EstimateBatch(qs)
+	var out []float64
+	err := resilience.Guard("estimate:"+sm.spec.Name, func() error {
+		if sm.mu != nil {
+			sm.mu.Lock()
+			defer sm.mu.Unlock()
+		}
+		var err error
+		out, err = ce.EstimateBatchContext(ctx, sm.model, qs)
+		return err
+	})
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		sm.quarantined.Store(true)
+		log.Printf("quarantining model %s after inference panic: %v\n%s", sm.spec.Name, pe.Value, pe.Stack)
+		return nil, errModelQuarantined
+	}
+	return out, err
 }
 
 // schemaSignature fingerprints a dataset's structure — table/column
@@ -244,6 +277,13 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
+	// Failpoint "serve.onboard" injects an onboarding failure after decode
+	// and before any state changes (the soak harness exercises it; panic
+	// mode lands in the recovery middleware).
+	if err := resilience.Failpoint("serve.onboard"); err != nil {
+		writeError(w, http.StatusInternalServerError, "onboarding: "+err.Error())
+		return
+	}
 	d, err := req.toDataset()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -276,6 +316,12 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 				m, artSchema, err := s.store.Load(e.Dataset, e.Model)
+				if errors.Is(err, ce.ErrCorruptArtifact) {
+					// The store already quarantined the file; the tenant
+					// onboards without this model rather than failing.
+					log.Printf("skipping corrupt artifact for (%s, %s): %v", e.Dataset, e.Model, err)
+					continue
+				}
 				if err != nil || artSchema != schema {
 					continue
 				}
@@ -404,11 +450,52 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		cfg.Fast = *req.Fast
 	}
 
+	// Bounded single-flight training: at most one Fit runs at a time, at
+	// most TrainQueue requests wait for the slot (429 beyond that), and
+	// the wait itself is bounded by the request deadline.
+	release, err := s.adm.AdmitTrain(r.Context())
+	if err != nil {
+		writeOverload(w, err)
+		return
+	}
+
 	t0 := time.Now()
-	in := testbed.NewTrainInputFor(tn.d, cfg, spec.Kind)
+	ctx := r.Context()
+	in, err := testbed.NewTrainInputForCtx(ctx, tn.d, cfg, spec.Kind)
+	if err != nil {
+		release()
+		writeDeadline(w, "training (input staging)", err)
+		return
+	}
 	m := spec.New(ce.Config{Fast: cfg.Fast, Seed: cfg.Seed})
-	if err := m.Fit(in); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("training %s: %v", name, err))
+	// Fit runs in its own goroutine behind a panic fence, so the handler
+	// can answer the deadline without waiting for the trainer's next
+	// cancellation checkpoint; the abandoned goroutine observes in.Ctx at
+	// its epoch boundaries and winds down on its own.
+	done := make(chan error, 1)
+	go func() { done <- resilience.Guard("train:"+name, func() error { return m.Fit(in) }) }()
+	select {
+	case err := <-done:
+		release()
+		var pe *resilience.PanicError
+		switch {
+		case errors.As(err, &pe):
+			log.Printf("training %s panicked: %v\n%s", name, pe.Value, pe.Stack)
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("training %s: internal error", name))
+			return
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			writeDeadline(w, "training "+name, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("training %s: %v", name, err))
+			return
+		}
+	case <-ctx.Done():
+		// Keep the single-flight slot held until the abandoned trainer
+		// actually reaches a checkpoint and stops — the next train must
+		// not start while this one is still burning CPU.
+		go func() { <-done; release() }()
+		writeDeadline(w, "training "+name, context.Cause(ctx))
 		return
 	}
 	elapsed := time.Since(t0)
@@ -565,7 +652,26 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		qs[i] = q
 	}
 
-	ests := sm.estimate(qs)
+	// Admit into the cheap class at batch weight, so one huge batch
+	// competes fairly with many small ones (AdmitCheap clamps oversized
+	// weights to the class capacity).
+	release, err := s.adm.AdmitCheap(r.Context(), int64(len(qs)))
+	if err != nil {
+		writeOverload(w, err)
+		return
+	}
+	defer release()
+
+	ests, err := sm.estimate(r.Context(), qs)
+	switch {
+	case errors.Is(err, errModelQuarantined):
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("model %q for dataset %q is quarantined after an inference panic; POST /train to restore it", name, req.Dataset))
+		return
+	case err != nil:
+		writeDeadline(w, "estimate", err)
+		return
+	}
 	resp := estimateResponse{Dataset: req.Dataset, Model: name, Estimates: ests}
 	if req.Query != nil {
 		resp.Estimate = ests[0]

@@ -1,0 +1,242 @@
+package main
+
+// Fault-injection soak: hammer the full serving stack while failpoints
+// fire on store I/O and one estimator's inference panics, and pin the
+// acceptance bar of the resilience layer — the server never exits, only
+// the faulting model is quarantined, and every /estimate against a
+// healthy model answers 200 within its deadline.
+//
+// The default duration keeps the test in unit-test territory; the CI
+// soak job (and manual runs) stretch it with
+//
+//	AUTOCE_SOAK_DURATION=2m go test ./cmd/autoce-serve -run TestServeFaultInjectionSoak -race
+//
+// Run it with -race: the soak is also the concurrency torture test of the
+// admission semaphores, quarantine flags, and snapshot publication.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ce"
+	"repro/internal/resilience"
+)
+
+// tryPostJSON is postJSON for the soak's hammer goroutines: transport
+// failures come back as errors instead of t.Fatal, which must not be
+// called off the test goroutine.
+func tryPostJSON(ts *httptest.Server, path string, body any) (int, []byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out.Bytes(), nil
+}
+
+func soakDuration() time.Duration {
+	if v := os.Getenv("AUTOCE_SOAK_DURATION"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+	}
+	return 2 * time.Second
+}
+
+func TestServeFaultInjectionSoak(t *testing.T) {
+	defer resilience.ClearFailpoints()
+	adv, _ := testAdvisor(t, 8)
+	store, err := ce.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServerOpts(adv, store, serveOptions{
+		EstimateDeadline: 5 * time.Second,
+		TrainDeadline:    30 * time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two tenants: "served" hosts the faulting Postgres model next to a
+	// healthy LW-XGB; "bystander" must never notice any of it.
+	onboard(t, ts, serveDataset(t, 1, 51))
+	trainModelOn(t, ts, "served", "Postgres")
+	trainModelOn(t, ts, "served", "LW-XGB")
+	byd := serveDataset(t, 2, 52)
+	byd.Name = "bystander"
+	onboard(t, ts, byd)
+	trainModelOn(t, ts, "bystander", "Postgres")
+
+	// Arm the faults: store reads and writes fail ~30% of the time, and
+	// every inference of the "served" tenant's Postgres model panics.
+	// (The bystander's Postgres shares the failpoint — its quarantine is
+	// also per served model, which the post-soak phase verifies.)
+	if err := resilience.SetFailpoints(
+		"ce.store.save=error:0.3,ce.store.load=error:0.3,ce.pglike.estimate=panic"); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		stop          atomic.Bool
+		healthyOK     atomic.Int64
+		faultingSeen  atomic.Int64
+		trainAttempts atomic.Int64
+		wg            sync.WaitGroup
+	)
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+		stop.Store(true)
+	}
+
+	// Healthy-model hammers: every single response must be 200. Batch
+	// sizes >1 exercise the chunked context path; LW-XGB is untouched by
+	// any armed failpoint.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := map[string]any{"tables": []int{0}}
+			for !stop.Load() {
+				status, data, err := tryPostJSON(ts, "/estimate", map[string]any{
+					"dataset": "served", "model": "LW-XGB",
+					"queries": []any{q, q, q},
+				})
+				if err != nil {
+					fail("healthy estimate transport error (server down?): %v", err)
+					return
+				}
+				if status != http.StatusOK {
+					fail("healthy estimate returned %d: %s", status, data)
+					return
+				}
+				healthyOK.Add(1)
+			}
+		}()
+	}
+
+	// Faulting-model hammer: 200 before the fence trips, 503 after
+	// (quarantined, or freshly panicking post-retrain); anything else is
+	// a resilience failure. Mixed batch sizes drive both the inline and
+	// the parallel fan-out panic paths.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q := map[string]any{"tables": []int{0}}
+		batches := [][]any{{q}, {q, q, q, q}}
+		for i := 0; !stop.Load(); i++ {
+			status, data, err := tryPostJSON(ts, "/estimate", map[string]any{
+				"dataset": "served", "model": "Postgres",
+				"queries": batches[i%len(batches)],
+			})
+			if err != nil {
+				fail("faulting estimate transport error (server down?): %v", err)
+				return
+			}
+			if status != http.StatusOK && status != http.StatusServiceUnavailable {
+				fail("faulting estimate returned %d: %s", status, data)
+				return
+			}
+			faultingSeen.Add(1)
+		}
+	}()
+
+	// Retrainer: keeps republishing the faulting model, cycling
+	// quarantine -> fresh model -> panic -> quarantine. Accepts the whole
+	// overload/fault surface: 200, 429 (queue), 500 (injected save
+	// failure), 503 (slot wait).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			status, data, err := tryPostJSON(ts, "/train", map[string]any{"dataset": "served", "model": "Postgres"})
+			if err != nil {
+				fail("train transport error (server down?): %v", err)
+				return
+			}
+			switch status {
+			case http.StatusOK, http.StatusTooManyRequests,
+				http.StatusInternalServerError, http.StatusServiceUnavailable:
+			default:
+				fail("train returned %d: %s", status, data)
+				return
+			}
+			trainAttempts.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Re-onboarder: store.load failpoints fire during artifact reload;
+	// onboarding must keep succeeding (reload is best-effort) or shed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d := serveDataset(t, 1, 53)
+		d.Name = "churn"
+		body := datasetBody(d)
+		for !stop.Load() {
+			status, data, err := tryPostJSON(ts, "/datasets", body)
+			if err != nil {
+				fail("re-onboard transport error (server down?): %v", err)
+				return
+			}
+			if status != http.StatusOK && status != http.StatusServiceUnavailable {
+				fail("re-onboard returned %d: %s", status, data)
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(soakDuration())
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if healthyOK.Load() == 0 || faultingSeen.Load() == 0 || trainAttempts.Load() == 0 {
+		t.Fatalf("soak exercised nothing: healthy=%d faulting=%d trains=%d",
+			healthyOK.Load(), faultingSeen.Load(), trainAttempts.Load())
+	}
+	if resilience.FailpointHits("ce.pglike.estimate") == 0 {
+		t.Fatal("inference failpoint never fired")
+	}
+	if resilience.FailpointHits("ce.store.save") == 0 {
+		t.Fatal("store save failpoint never fired")
+	}
+
+	// Post-soak: disarm and verify the wreckage is contained. The
+	// bystander tenant's Postgres may have been quarantined too (same
+	// failpoint, separate servedModel) — what matters is that each
+	// quarantine is per served model and retraining heals it.
+	resilience.ClearFailpoints()
+	if status, data := estimateStatus(t, ts, "served", "LW-XGB"); status != http.StatusOK {
+		t.Fatalf("healthy model unhealthy after soak: %d %s", status, data)
+	}
+	trainModelOn(t, ts, "served", "Postgres")
+	if status, data := estimateStatus(t, ts, "served", "Postgres"); status != http.StatusOK {
+		t.Fatalf("retrained model still failing after soak: %d %s", status, data)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz returned %d after soak", resp.StatusCode)
+	}
+}

@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -25,6 +26,39 @@ func SerialEstimates(e singleEstimator, qs []*workload.Query) []float64 {
 	return out
 }
 
+// estimateBatchChunk bounds how much work EstimateBatchContext commits to
+// between cancellation checks. Batch rows are computed independently, so
+// slicing a batch changes nothing about the values (the conformance suite
+// pins EstimateBatch ≡ per-query Estimate for every model, chunked or
+// not); it only bounds how long a doomed request keeps burning CPU after
+// its deadline.
+const estimateBatchChunk = 512
+
+// EstimateBatchContext runs est.EstimateBatch under a deadline: the batch
+// is processed in estimateBatchChunk-query slices with a cancellation
+// check between slices, returning the context's cause (and no estimates)
+// once the deadline fires. Results are bit-identical to one
+// est.EstimateBatch call — batch estimates are independent per row, so
+// chunk boundaries cannot change values. A nil-deadline context degrades
+// to plain EstimateBatch plus one atomic load per chunk.
+func EstimateBatchContext(ctx context.Context, est Estimator, qs []*workload.Query) ([]float64, error) {
+	out := make([]float64, 0, len(qs))
+	for start := 0; start < len(qs); start += estimateBatchChunk {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
+		end := start + estimateBatchChunk
+		if end > len(qs) {
+			end = len(qs)
+		}
+		out = append(out, est.EstimateBatch(qs[start:end])...)
+	}
+	if err := context.Cause(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ParallelEstimates implements EstimateBatch by fanning Estimate over a
 // GOMAXPROCS-wide worker pool. Each query's estimate is computed by the
 // unchanged per-query path, so values are bit-identical to a serial loop
@@ -45,10 +79,25 @@ func ParallelEstimates(e singleEstimator, qs []*workload.Query) []float64 {
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	// A panic inside a worker would escape any recover on the calling
+	// goroutine and kill the process; capture the first one and re-panic
+	// it from the caller, where the serving layer's panic fences can
+	// quarantine the model instead. The panicking worker exits; surviving
+	// workers drain the remaining queries before the re-panic.
+	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = v
+					}
+					mu.Unlock()
+				}
+			}()
 			for {
 				mu.Lock()
 				i := next
@@ -62,5 +111,8 @@ func ParallelEstimates(e singleEstimator, qs []*workload.Query) []float64 {
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	return out
 }

@@ -1,0 +1,92 @@
+package ce_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ce"
+	"repro/internal/workload"
+)
+
+// countingEstimator records how many queries it was asked to estimate.
+type countingEstimator struct{ calls int }
+
+func (c *countingEstimator) Name() string                       { return "counting" }
+func (c *countingEstimator) Estimate(q *workload.Query) float64 { c.calls++; return 1 }
+func (c *countingEstimator) EstimateBatch(qs []*workload.Query) []float64 {
+	c.calls += len(qs)
+	return make([]float64, len(qs))
+}
+
+func TestEstimateBatchContextCompletes(t *testing.T) {
+	est := &countingEstimator{}
+	qs := make([]*workload.Query, 1300) // spans three chunks
+	out, err := ce.EstimateBatchContext(context.Background(), est, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(qs) || est.calls != len(qs) {
+		t.Fatalf("got %d estimates from %d calls, want %d", len(out), est.calls, len(qs))
+	}
+}
+
+func TestEstimateBatchContextCancels(t *testing.T) {
+	est := &countingEstimator{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := make([]*workload.Query, 1300)
+	if _, err := ce.EstimateBatchContext(ctx, est, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if est.calls != 0 {
+		t.Fatalf("canceled batch still estimated %d queries", est.calls)
+	}
+}
+
+func TestTrainInputCanceled(t *testing.T) {
+	var in ce.TrainInput
+	if err := in.Canceled(); err != nil {
+		t.Fatalf("nil-ctx input reports %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in.Ctx = ctx
+	if err := in.Canceled(); err != nil {
+		t.Fatalf("live ctx reports %v", err)
+	}
+	cancel()
+	if err := in.Canceled(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx reports %v", err)
+	}
+}
+
+func TestParseSubsetKeyRoundTrip(t *testing.T) {
+	for _, tables := range [][]int{nil, {0}, {3, 1, 2}, {0, 10, 100}} {
+		key := ce.SubsetKey(tables)
+		back, err := ce.ParseSubsetKey(key)
+		if err != nil {
+			t.Fatalf("ParseSubsetKey(%q): %v", key, err)
+		}
+		if ce.SubsetKey(back) != key {
+			t.Fatalf("round trip of %v: %q -> %v", tables, key, back)
+		}
+	}
+}
+
+func TestParseSubsetKeyRejectsNonCanonical(t *testing.T) {
+	for _, key := range []string{
+		"1",                     // not comma-terminated
+		"1,,2,",                 // empty element
+		"01,",                   // leading zero
+		"2,1,",                  // not ascending
+		"1,1,",                  // duplicate
+		"-1,",                   // sign
+		"a,",                    // not a number
+		"1, 2,",                 // interior space
+		"99999999999999999999,", // overflow
+	} {
+		if got, err := ce.ParseSubsetKey(key); err == nil {
+			t.Fatalf("ParseSubsetKey(%q) accepted: %v", key, got)
+		}
+	}
+}

@@ -35,8 +35,11 @@
 package ce
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -56,6 +59,38 @@ func SubsetKey(tables []int) string {
 		key = append(key, ',')
 	}
 	return string(key)
+}
+
+// ParseSubsetKey inverts SubsetKey, accepting exactly the canonical form:
+// each element is a comma-terminated decimal with no sign, no leading
+// zeros (except "0" itself), values strictly ascending, and nothing
+// trailing. The strictness is load-bearing — subset keys are map keys
+// inside persisted artifacts, so two spellings of one subset would split
+// its entry; the fuzz harness pins ParseSubsetKey(SubsetKey(x)) == x and
+// SubsetKey(ParseSubsetKey(k)) == k for every accepted k.
+func ParseSubsetKey(key string) ([]int, error) {
+	if key == "" {
+		return nil, nil
+	}
+	if !strings.HasSuffix(key, ",") {
+		return nil, fmt.Errorf("ce: subset key %q is not comma-terminated", key)
+	}
+	parts := strings.Split(key[:len(key)-1], ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		if p == "" || (len(p) > 1 && p[0] == '0') {
+			return nil, fmt.Errorf("ce: subset key %q: non-canonical element %q", key, p)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("ce: subset key %q: bad element %q", key, p)
+		}
+		if i > 0 && v <= out[i-1] {
+			return nil, fmt.Errorf("ce: subset key %q: elements not strictly ascending", key)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // SubsetSizes maps every connected table subset of a dataset to its
@@ -79,6 +114,16 @@ type SubsetSizes struct {
 // join index: unfiltered acyclic counts reduce to lookups over the
 // prehashed per-value multiplicities.
 func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
+	ss, _ := ComputeSubsetSizesCtx(context.Background(), d)
+	return ss
+}
+
+// ComputeSubsetSizesCtx is ComputeSubsetSizes with cooperative
+// cancellation: the 2^n mask loop is the longest uninterruptible stretch
+// of dataset onboarding, so it checks ctx once per mask and abandons the
+// enumeration (returning a nil table and the context's cause) when the
+// request deadline fires.
+func ComputeSubsetSizesCtx(ctx context.Context, d *dataset.Dataset) (*SubsetSizes, error) {
 	ss := &SubsetSizes{Sizes: map[string]int64{}, TableRows: make([]int64, len(d.Tables))}
 	for ti, t := range d.Tables {
 		ss.TableRows[ti] = int64(t.Rows())
@@ -86,6 +131,9 @@ func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
 	ev := engine.NewEvaluator(d)
 	n := len(d.Tables)
 	for mask := 1; mask < 1<<uint(n); mask++ {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
 		var tables []int
 		for t := 0; t < n; t++ {
 			if mask&(1<<uint(t)) != 0 {
@@ -106,7 +154,7 @@ func ComputeSubsetSizes(d *dataset.Dataset) *SubsetSizes {
 		}
 		ss.Sizes[SubsetKey(tables)] = ev.Cardinality(q)
 	}
-	return ss
+	return ss, nil
 }
 
 // Size returns the unfiltered join size of the given tables; when the

@@ -91,6 +91,11 @@ func (m *Model) Fit(in *ce.TrainInput) error {
 	})
 	order := rng.Perm(len(train))
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		// Cooperative cancellation checkpoint: abandon training between
+		// epochs when the request deadline carried by the TrainInput fires.
+		if err := in.Canceled(); err != nil {
+			return err
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += batch {
 			end := start + batch

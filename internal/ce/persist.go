@@ -1,13 +1,19 @@
 package ce
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/resilience"
 )
 
 // Persistable is a model that can round-trip through gob. Every registered
@@ -32,13 +38,36 @@ type artifact struct {
 	Blob   []byte
 }
 
+// ErrCorruptArtifact is the sentinel matched (via errors.Is) by every
+// integrity failure a model artifact can exhibit: missing or wrong magic,
+// truncation, or a checksum mismatch from bit rot. Callers distinguish it
+// from transient I/O errors to quarantine the file instead of retrying.
+var ErrCorruptArtifact = errors.New("ce: corrupt model artifact")
+
+// Artifact envelope: gob is a stream format with no integrity protection —
+// a truncated or bit-flipped artifact can decode into a silently wrong
+// model or drive the decoder into pathological states. Every artifact is
+// therefore framed as
+//
+//	magic [8]byte  "CEARTv2\n"
+//	size  uint64   little-endian payload length
+//	crc   uint32   little-endian CRC-32C (Castagnoli) of the payload
+//	payload        gob(artifact)
+//
+// and LoadModelSchema verifies the frame before any gob decoding happens:
+// wrong magic, short payload, or CRC mismatch all surface as
+// ErrCorruptArtifact without touching the decoder.
+var artifactMagic = [8]byte{'C', 'E', 'A', 'R', 'T', 'v', '2', '\n'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // SaveModel writes a trained model to w as a self-describing artifact with
 // no schema fingerprint; see SaveModelSchema.
 func SaveModel(w io.Writer, m Model) error { return SaveModelSchema(w, m, "") }
 
-// SaveModelSchema writes a trained model to w as a self-describing
-// artifact carrying an opaque schema fingerprint. The model must be
-// registered (its Name selects the decoder) and Persistable.
+// SaveModelSchema writes a trained model to w as a self-describing,
+// checksummed artifact carrying an opaque schema fingerprint. The model
+// must be registered (its Name selects the decoder) and Persistable.
 func SaveModelSchema(w io.Writer, m Model, schema string) error {
 	p, ok := m.(Persistable)
 	if !ok {
@@ -51,7 +80,18 @@ func SaveModelSchema(w io.Writer, m Model, schema string) error {
 	if err != nil {
 		return fmt.Errorf("ce: encoding %s: %w", m.Name(), err)
 	}
-	if err := gob.NewEncoder(w).Encode(&artifact{Name: m.Name(), Schema: schema, Blob: blob}); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&artifact{Name: m.Name(), Schema: schema, Blob: blob}); err != nil {
+		return fmt.Errorf("ce: writing %s artifact: %w", m.Name(), err)
+	}
+	header := make([]byte, len(artifactMagic)+12)
+	copy(header, artifactMagic[:])
+	binary.LittleEndian.PutUint64(header[8:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(header[16:], crc32.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("ce: writing %s artifact: %w", m.Name(), err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
 		return fmt.Errorf("ce: writing %s artifact: %w", m.Name(), err)
 	}
 	return nil
@@ -64,12 +104,41 @@ func LoadModel(r io.Reader) (Model, error) {
 	return m, err
 }
 
+// maxArtifactPayload rejects envelopes whose declared size is absurd
+// before allocating for them — a corrupted size field must not turn a
+// reload into an OOM.
+const maxArtifactPayload = 1 << 30
+
 // LoadModelSchema is LoadModel returning the artifact's recorded schema
-// fingerprint as well.
+// fingerprint as well. Integrity failures — wrong magic, truncation, bit
+// flips — return an error matching ErrCorruptArtifact, always before the
+// gob decoder sees the payload.
 func LoadModelSchema(r io.Reader) (Model, string, error) {
+	header := make([]byte, len(artifactMagic)+12)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, "", fmt.Errorf("%w: short header: %v", ErrCorruptArtifact, err)
+	}
+	if !bytes.Equal(header[:8], artifactMagic[:]) {
+		return nil, "", fmt.Errorf("%w: bad magic %q", ErrCorruptArtifact, header[:8])
+	}
+	size := binary.LittleEndian.Uint64(header[8:])
+	wantCRC := binary.LittleEndian.Uint32(header[16:])
+	if size > maxArtifactPayload {
+		return nil, "", fmt.Errorf("%w: declared payload size %d exceeds %d", ErrCorruptArtifact, size, maxArtifactPayload)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, "", fmt.Errorf("%w: truncated payload: %v", ErrCorruptArtifact, err)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return nil, "", fmt.Errorf("%w: checksum mismatch (recorded %08x, computed %08x)", ErrCorruptArtifact, wantCRC, got)
+	}
 	var a artifact
-	if err := gob.NewDecoder(r).Decode(&a); err != nil {
-		return nil, "", fmt.Errorf("ce: reading model artifact: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&a); err != nil {
+		// The checksum held, so the bytes are as written; a gob failure here
+		// is a format mismatch, not bit rot — still unusable, still corrupt
+		// from the caller's point of view.
+		return nil, "", fmt.Errorf("%w: undecodable payload: %v", ErrCorruptArtifact, err)
 	}
 	spec, ok := Lookup(a.Name)
 	if !ok {
@@ -91,7 +160,10 @@ func LoadModelSchema(r io.Reader) (Model, string, error) {
 // an artifact per (dataset, model), and a restarted server reloads them.
 // Methods are safe for concurrent use to the extent the filesystem is;
 // writes go through a temp file + rename so readers never observe a
-// partial artifact.
+// partial artifact, and reads verify the checksummed envelope — an
+// artifact truncated or bit-flipped on disk is quarantined (renamed to
+// .corrupt) rather than served, so one rotten file cannot take down a
+// fleet reload.
 type Store struct {
 	dir string
 }
@@ -109,6 +181,11 @@ func (s *Store) Dir() string { return s.dir }
 
 const artifactExt = ".cemodel"
 
+// corruptExt is appended to an artifact path when Load detects an
+// integrity failure; quarantined files are skipped by List (and therefore
+// by startup reloads) but kept on disk for forensics.
+const corruptExt = ".corrupt"
+
 // Artifacts live one directory level deep — <dir>/<dataset>/<model>.cemodel
 // with both components URL-escaped. PathEscape escapes "/", so arbitrary
 // names cannot traverse, and the directory boundary keeps dataset and
@@ -124,8 +201,12 @@ func (s *Store) path(datasetName, modelName string) string {
 
 // Save persists m as the trained model of datasetName, recording schema
 // (an opaque dataset fingerprint; may be empty) in the artifact, and
-// returns the artifact path.
+// returns the artifact path. Failpoint "ce.store.save" injects a write
+// failure before any bytes land.
 func (s *Store) Save(datasetName, schema string, m Model) (string, error) {
+	if err := resilience.Failpoint("ce.store.save"); err != nil {
+		return "", fmt.Errorf("ce: store save: %w", err)
+	}
 	dir := s.datasetDir(datasetName)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("ce: store save: %w", err)
@@ -150,14 +231,34 @@ func (s *Store) Save(datasetName, schema string, m Model) (string, error) {
 }
 
 // Load reads the artifact saved for (datasetName, modelName), returning
-// the model and the schema fingerprint recorded at save time.
+// the model and the schema fingerprint recorded at save time. A corrupt
+// artifact (error matching ErrCorruptArtifact) is quarantined: the file is
+// renamed to <path>.corrupt so subsequent List/reload passes skip it,
+// while the typed error still reaches the caller. Failpoint
+// "ce.store.load" injects a read failure.
 func (s *Store) Load(datasetName, modelName string) (Model, string, error) {
-	f, err := os.Open(s.path(datasetName, modelName))
+	if err := resilience.Failpoint("ce.store.load"); err != nil {
+		return nil, "", fmt.Errorf("ce: store load: %w", err)
+	}
+	path := s.path(datasetName, modelName)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, "", fmt.Errorf("ce: store load: %w", err)
 	}
-	defer f.Close()
-	return LoadModelSchema(f)
+	m, schema, err := LoadModelSchema(f)
+	f.Close()
+	if errors.Is(err, ErrCorruptArtifact) {
+		// Quarantine best-effort: losing the rename race (or a read-only
+		// filesystem) must not mask the corruption error itself.
+		if renameErr := os.Rename(path, path+corruptExt); renameErr == nil {
+			return nil, "", fmt.Errorf("ce: store load: quarantined %s: %w", path+corruptExt, err)
+		}
+		return nil, "", fmt.Errorf("ce: store load: %w", err)
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("ce: store load: %w", err)
+	}
+	return m, schema, nil
 }
 
 // Entry identifies one stored artifact.
@@ -166,7 +267,9 @@ type Entry struct {
 	Path           string
 }
 
-// List enumerates the store's artifacts.
+// List enumerates the store's artifacts. Quarantined (.corrupt) files and
+// in-flight temp files are skipped, so a startup reload only sees
+// artifacts that were durably renamed into place and not since condemned.
 func (s *Store) List() ([]Entry, error) {
 	dirs, err := os.ReadDir(s.dir)
 	if err != nil {

@@ -1,0 +1,298 @@
+package ce_test
+
+// Crash-safety regression tests for the artifact store: a truncated or
+// bit-flipped artifact on disk must surface as the typed
+// ce.ErrCorruptArtifact — never a panic, never a silently wrong model —
+// be quarantined to .corrupt, and leave every intact artifact loadable
+// (the restart-with-one-rotten-file scenario).
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ce"
+	_ "repro/internal/ce/zoo"
+	"repro/internal/datagen"
+	"repro/internal/resilience"
+)
+
+// trainedPostgres fits the cheap histogram baseline on a tiny dataset —
+// enough to produce a real artifact in milliseconds.
+func trainedPostgres(t *testing.T, seed int64) ce.Model {
+	t.Helper()
+	p := datagen.Params{
+		Tables:  1,
+		MinCols: 2, MaxCols: 2,
+		MinRows: 60, MaxRows: 80,
+		Domain: 20,
+		SkewLo: 0, SkewHi: 0.5,
+		CorrLo: 0, CorrHi: 0.5,
+		JoinLo: 0.5, JoinHi: 1,
+		Seed: seed,
+	}
+	d, err := datagen.Generate("persisted", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := ce.Lookup("Postgres")
+	if !ok {
+		t.Fatal("Postgres not registered")
+	}
+	m := spec.New(ce.Config{Fast: true})
+	if err := m.Fit(&ce.TrainInput{Dataset: d}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func artifactPathFor(t *testing.T, store *ce.Store, dataset string) string {
+	t.Helper()
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Dataset == dataset {
+			return e.Path
+		}
+	}
+	t.Fatalf("no artifact listed for dataset %q", dataset)
+	return ""
+}
+
+func TestStoreLoadTruncatedArtifact(t *testing.T) {
+	store, err := ce.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedPostgres(t, 101)
+	if _, err := store.Save("ds", "sig", m); err != nil {
+		t.Fatal(err)
+	}
+	path := artifactPathFor(t, store, "ds")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate at several depths: mid-header, mid-payload, one byte short.
+	for _, cut := range []int{0, 5, 12, len(whole) / 2, len(whole) - 1} {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := store.Load("ds", "Postgres")
+		if err == nil {
+			t.Fatalf("truncated artifact (cut=%d) loaded", cut)
+		}
+		if !errors.Is(err, ce.ErrCorruptArtifact) {
+			t.Fatalf("truncated artifact (cut=%d) error %v does not match ErrCorruptArtifact", cut, err)
+		}
+		// Quarantined: original gone, .corrupt sibling present.
+		if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+			t.Fatalf("cut=%d: corrupt artifact not quarantined (stat: %v)", cut, statErr)
+		}
+		if _, statErr := os.Stat(path + ".corrupt"); statErr != nil {
+			t.Fatalf("cut=%d: no .corrupt quarantine file: %v", cut, statErr)
+		}
+		if err := os.Remove(path + ".corrupt"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreLoadBitFlippedArtifact(t *testing.T) {
+	store, err := ce.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedPostgres(t, 102)
+	if _, err := store.Save("ds", "sig", m); err != nil {
+		t.Fatal(err)
+	}
+	path := artifactPathFor(t, store, "ds")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit at several offsets: in the magic, the size field, the
+	// checksum itself, and deep in the payload.
+	for _, off := range []int{2, 9, 17, 25, len(whole)/2 + 3, len(whole) - 2} {
+		flipped := append([]byte(nil), whole...)
+		flipped[off] ^= 0x10
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := store.Load("ds", "Postgres")
+		if err == nil {
+			t.Fatalf("bit-flipped artifact (offset %d) loaded", off)
+		}
+		if !errors.Is(err, ce.ErrCorruptArtifact) {
+			t.Fatalf("bit-flipped artifact (offset %d) error %v does not match ErrCorruptArtifact", off, err)
+		}
+		if !strings.Contains(err.Error(), ".corrupt") {
+			t.Fatalf("offset %d: error %v does not report the quarantine path", off, err)
+		}
+		if err := os.Remove(path + ".corrupt"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreCorruptArtifactDoesNotPoisonFleet is the restart scenario: one
+// dataset's artifact rots, the rest of the fleet must still reload, and
+// the quarantined file must vanish from List.
+func TestStoreCorruptArtifactDoesNotPoisonFleet(t *testing.T) {
+	store, err := ce.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedPostgres(t, 103)
+	for _, ds := range []string{"healthy-a", "rotten", "healthy-b"} {
+		if _, err := store.Save(ds, "sig:"+ds, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot the middle artifact.
+	path := artifactPathFor(t, store, "rotten")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-4] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reload loop a restart runs: List, Load each, skip failures.
+	entries, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("List returned %d entries, want 3", len(entries))
+	}
+	loaded := map[string]bool{}
+	for _, e := range entries {
+		lm, schema, err := store.Load(e.Dataset, e.Model)
+		if e.Dataset == "rotten" {
+			if !errors.Is(err, ce.ErrCorruptArtifact) {
+				t.Fatalf("rotten load error %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("healthy artifact %s failed to load: %v", e.Dataset, err)
+		}
+		if schema != "sig:"+e.Dataset || lm.Name() != "Postgres" {
+			t.Fatalf("healthy artifact %s loaded wrong content (%q, %q)", e.Dataset, schema, lm.Name())
+		}
+		loaded[e.Dataset] = true
+	}
+	if !loaded["healthy-a"] || !loaded["healthy-b"] {
+		t.Fatalf("healthy fleet members not loaded: %v", loaded)
+	}
+
+	// After quarantine the corrupt entry is gone from List; the healthy
+	// fleet remains.
+	entries, err = store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("List after quarantine returned %d entries, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Dataset == "rotten" {
+			t.Fatal("quarantined artifact still listed")
+		}
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// TestStoreRejectsLegacyUnframedArtifact pins the format gate: a payload
+// without the checksummed envelope (e.g. a pre-envelope gob stream, or
+// arbitrary junk) is corrupt, not undefined behavior.
+func TestStoreRejectsLegacyUnframedArtifact(t *testing.T) {
+	store, err := ce.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(store.Dir(), "legacy")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "Postgres.cemodel"),
+		[]byte("not an envelope at all, just bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = store.Load("legacy", "Postgres")
+	if !errors.Is(err, ce.ErrCorruptArtifact) {
+		t.Fatalf("unframed artifact error %v", err)
+	}
+}
+
+// TestSaveLoadRoundTripStillExact guards the envelope change itself: a
+// clean save/load round trip preserves the schema string and produces a
+// model whose estimates match (the full bit-exactness contract lives in
+// the conformance harness).
+func TestSaveLoadRoundTripStillExact(t *testing.T) {
+	m := trainedPostgres(t, 104)
+	var buf bytes.Buffer
+	if err := ce.SaveModelSchema(&buf, m, "schema-fingerprint"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, schema, err := ce.LoadModelSchema(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema != "schema-fingerprint" {
+		t.Fatalf("schema %q after round trip", schema)
+	}
+	if loaded.Name() != "Postgres" {
+		t.Fatalf("loaded %q", loaded.Name())
+	}
+}
+
+// TestStoreFailpoints pins the injection sites the soak test drives: an
+// armed store failpoint surfaces as ErrInjected from Save/Load without
+// touching the disk state.
+func TestStoreFailpoints(t *testing.T) {
+	defer resilience.ClearFailpoints()
+	store, err := ce.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trainedPostgres(t, 105)
+	if _, err := store.Save("ds", "sig", m); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := resilience.SetFailpoint("ce.store.save", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save("ds2", "sig", m); !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("save with armed failpoint returned %v", err)
+	}
+	resilience.ClearFailpoint("ce.store.save")
+
+	if err := resilience.SetFailpoint("ce.store.load", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Load("ds", "Postgres"); !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("load with armed failpoint returned %v", err)
+	}
+	resilience.ClearFailpoint("ce.store.load")
+
+	// Disarmed: the artifact is intact and loads normally.
+	lm, _, err := store.Load("ds", "Postgres")
+	if err != nil || lm.Name() != "Postgres" {
+		t.Fatalf("load after disarm: %v", err)
+	}
+}

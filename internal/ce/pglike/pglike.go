@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/ce"
+	"repro/internal/resilience"
 	"repro/internal/workload"
 )
 
@@ -116,8 +117,13 @@ func (m *Model) Name() string { return "Postgres" }
 
 // Fit implements ce.Model (data-driven: consumes Dataset), building
 // histograms for every column. The join sample is unused: like the real
-// system, this model relies only on per-table statistics.
+// system, this model relies only on per-table statistics. Failpoint
+// "ce.pglike.fit" injects a training failure (this model is the cheapest
+// registered estimator, making it the natural fault-injection tenant).
 func (m *Model) Fit(in *ce.TrainInput) error {
+	if err := resilience.Failpoint("ce.pglike.fit"); err != nil {
+		return fmt.Errorf("pglike: fit: %w", err)
+	}
 	d := in.Dataset
 	m.rows = make([]int64, len(d.Tables))
 	m.hists = make([][]*Histogram, len(d.Tables))
@@ -132,8 +138,12 @@ func (m *Model) Fit(in *ce.TrainInput) error {
 }
 
 // Estimate implements ce.Estimator using independence across predicates
-// and 1/max(ndv) per join edge.
+// and 1/max(ndv) per join edge. Failpoint "ce.pglike.estimate" is the
+// soak harness's inference-fault site: panic mode exercises the serving
+// layer's per-model panic fences, sleep mode its deadlines. (Error mode is
+// ignored here — Estimate cannot return one.)
 func (m *Model) Estimate(q *workload.Query) float64 {
+	_ = resilience.Failpoint("ce.pglike.estimate")
 	card := 1.0
 	for _, ti := range q.Tables {
 		card *= float64(m.rows[ti])

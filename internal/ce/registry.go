@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -73,6 +74,22 @@ type TrainInput struct {
 	Sizes *SubsetSizes
 	// Members are the trained estimators a composite model combines.
 	Members []Estimator
+	// Ctx, when non-nil, bounds the training run. Long-running Fit
+	// implementations poll Canceled at their outer loops (per epoch, per
+	// boosting round) and return its error to abandon training
+	// cooperatively; a nil Ctx trains to completion as before.
+	Ctx context.Context
+}
+
+// Canceled returns the context error when the TrainInput carries a
+// canceled or expired context, nil otherwise. Fit implementations call it
+// at iteration boundaries — cheap enough for per-epoch granularity, and a
+// no-op for inputs without a context.
+func (in *TrainInput) Canceled() error {
+	if in.Ctx == nil {
+		return nil
+	}
+	return context.Cause(in.Ctx)
 }
 
 // Estimator is a trained cardinality estimator: the serving surface.

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+)
+
+// Overload errors. Handlers map these to 503 (shed) and 429 (queue full)
+// with a Retry-After header; both mean "the request was rejected before
+// consuming resources, try again".
+var (
+	// ErrOverloaded reports that an admission class had no capacity within
+	// the request's deadline (cheap class) or at all (heavy class, which
+	// sheds instead of queueing).
+	ErrOverloaded = errors.New("resilience: overloaded")
+	// ErrTrainQueueFull reports that the bounded train queue is full.
+	ErrTrainQueueFull = errors.New("resilience: train queue full")
+)
+
+// AdmissionConfig sizes the two admission classes and the train queue.
+type AdmissionConfig struct {
+	// CheapSlots is the weight capacity of the cheap class (snapshot
+	// reads: estimate/recommend/drift). Large batches acquire more weight
+	// than single queries.
+	CheapSlots int64
+	// HeavySlots caps concurrently running expensive mutators (dataset
+	// onboarding, adapt). Requests beyond it are shed, not queued: the
+	// cheap class keeps serving from the existing snapshot.
+	HeavySlots int64
+	// TrainQueue bounds how many /train requests may wait for the
+	// single-flight training slot; beyond it, 429.
+	TrainQueue int64
+}
+
+// Admission is the two-class admission controller plus the train queue.
+// The classes use disjoint semaphores, so saturating the expensive class
+// can never block a cheap snapshot read — that separation is the
+// shed-on-overload mode: when training or onboarding saturates, estimates
+// keep flowing from the published snapshot.
+type Admission struct {
+	cheap *Semaphore
+	heavy *Semaphore
+	// queue bounds waiting trains; run serializes the one executing train
+	// (single-flight: training is CPU-bound and snapshot publication is
+	// serialized anyway, so concurrent trains only add memory pressure).
+	queue *Semaphore
+	run   *Semaphore
+}
+
+// NewAdmission builds a controller; non-positive fields fall back to the
+// defaults (64 cheap weight, 2 heavy slots, 4 queued trains).
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.CheapSlots <= 0 {
+		cfg.CheapSlots = 64
+	}
+	if cfg.HeavySlots <= 0 {
+		cfg.HeavySlots = 2
+	}
+	if cfg.TrainQueue <= 0 {
+		cfg.TrainQueue = 4
+	}
+	return &Admission{
+		cheap: NewSemaphore(cfg.CheapSlots),
+		heavy: NewSemaphore(cfg.HeavySlots),
+		queue: NewSemaphore(cfg.TrainQueue),
+		run:   NewSemaphore(1),
+	}
+}
+
+// AdmitCheap admits weight n of cheap (snapshot-read) work, waiting at
+// most until ctx's deadline. It returns the release function, or
+// ErrOverloaded when capacity did not free up in time. Weights above the
+// class capacity are clamped, so one huge batch admits alone rather than
+// deadlocking.
+func (a *Admission) AdmitCheap(ctx context.Context, n int64) (func(), error) {
+	if n < 1 {
+		n = 1
+	}
+	if n > a.cheap.Capacity() {
+		n = a.cheap.Capacity()
+	}
+	if err := a.cheap.Acquire(ctx, n); err != nil {
+		return nil, ErrOverloaded
+	}
+	return func() { a.cheap.Release(n) }, nil
+}
+
+// AdmitHeavy admits one expensive mutator, shedding immediately when the
+// class is saturated — expensive work queues nowhere, so overload cannot
+// build a backlog that outlives the spike.
+func (a *Admission) AdmitHeavy() (func(), error) {
+	if !a.heavy.TryAcquire(1) {
+		return nil, ErrOverloaded
+	}
+	return func() { a.heavy.Release(1) }, nil
+}
+
+// AdmitTrain admits one training request through the bounded single-flight
+// queue: a full queue fails fast with ErrTrainQueueFull (429 +
+// Retry-After), an admitted request then waits — bounded by ctx, typically
+// the train deadline — for the one training slot.
+func (a *Admission) AdmitTrain(ctx context.Context) (func(), error) {
+	if !a.queue.TryAcquire(1) {
+		return nil, ErrTrainQueueFull
+	}
+	if err := a.run.Acquire(ctx, 1); err != nil {
+		a.queue.Release(1)
+		return nil, ErrOverloaded
+	}
+	return func() {
+		a.run.Release(1)
+		a.queue.Release(1)
+	}, nil
+}

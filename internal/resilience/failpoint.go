@@ -1,0 +1,211 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FailpointEnv is the environment variable that arms failpoints at process
+// start: a comma- or semicolon-separated list of name=spec entries, e.g.
+//
+//	AUTOCE_FAILPOINTS="store.load=error:0.3,pglike.estimate=panic"
+//
+// A spec is one of
+//
+//	error          return ErrInjected from the failpoint
+//	panic          panic at the failpoint (exercises the panic fences)
+//	sleep(DUR)     sleep DUR (Go duration syntax) then continue
+//
+// optionally suffixed with ":P" (0 < P <= 1), the per-hit trigger
+// probability (default 1: every hit fires).
+const FailpointEnv = "AUTOCE_FAILPOINTS"
+
+// ErrInjected is the error returned by error-mode failpoints; injection
+// sites propagate it like any I/O failure, and tests assert on it with
+// errors.Is.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// InjectedError is the concrete error of an error-mode failpoint hit,
+// carrying the failpoint name. It matches ErrInjected under errors.Is.
+type InjectedError struct{ Name string }
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("resilience: injected fault at %q", e.Name)
+}
+
+// Is reports that any InjectedError matches the ErrInjected sentinel.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+type failpointMode int
+
+const (
+	fpError failpointMode = iota
+	fpPanic
+	fpSleep
+)
+
+type failpoint struct {
+	mode  failpointMode
+	prob  float64
+	delay time.Duration
+	hits  atomic.Int64
+}
+
+var failpoints struct {
+	armed  atomic.Bool // fast path: no map lookup while nothing is set
+	mu     sync.RWMutex
+	byName map[string]*failpoint
+}
+
+func init() {
+	failpoints.byName = map[string]*failpoint{}
+	if spec := os.Getenv(FailpointEnv); spec != "" {
+		if err := SetFailpoints(spec); err != nil {
+			// A malformed env var must not take the process down (the whole
+			// point is resilience); report and run without injection.
+			fmt.Fprintf(os.Stderr, "resilience: ignoring %s: %v\n", FailpointEnv, err)
+		}
+	}
+}
+
+// Failpoint is the injection hook compiled into fault-prone paths (store
+// I/O, dataset onboarding, estimator inference). While no failpoint is
+// armed — the production state — it is one atomic load. When the named
+// failpoint is armed it fires per its spec: error mode returns an
+// *InjectedError (matching ErrInjected), panic mode panics, sleep mode
+// delays and returns nil. Callers at sites that cannot propagate an error
+// (float-returning inference) document that error mode is ignored there.
+func Failpoint(name string) error {
+	if !failpoints.armed.Load() {
+		return nil
+	}
+	failpoints.mu.RLock()
+	fp := failpoints.byName[name]
+	failpoints.mu.RUnlock()
+	if fp == nil {
+		return nil
+	}
+	if fp.prob < 1 && rand.Float64() >= fp.prob {
+		return nil
+	}
+	fp.hits.Add(1)
+	switch fp.mode {
+	case fpPanic:
+		panic(fmt.Sprintf("resilience: injected panic at %q", name))
+	case fpSleep:
+		time.Sleep(fp.delay)
+		return nil
+	default:
+		return &InjectedError{Name: name}
+	}
+}
+
+// SetFailpoint arms one failpoint from its spec (see FailpointEnv).
+func SetFailpoint(name, spec string) error {
+	fp, err := parseFailpoint(spec)
+	if err != nil {
+		return fmt.Errorf("resilience: failpoint %q: %w", name, err)
+	}
+	failpoints.mu.Lock()
+	failpoints.byName[name] = fp
+	failpoints.mu.Unlock()
+	failpoints.armed.Store(true)
+	return nil
+}
+
+// SetFailpoints arms a name=spec list (the FailpointEnv format).
+func SetFailpoints(list string) error {
+	for _, entry := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ';' }) {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("resilience: failpoint entry %q is not name=spec", entry)
+		}
+		if err := SetFailpoint(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClearFailpoint disarms one failpoint.
+func ClearFailpoint(name string) {
+	failpoints.mu.Lock()
+	delete(failpoints.byName, name)
+	if len(failpoints.byName) == 0 {
+		failpoints.armed.Store(false)
+	}
+	failpoints.mu.Unlock()
+}
+
+// ClearFailpoints disarms everything (tests call it in cleanup).
+func ClearFailpoints() {
+	failpoints.mu.Lock()
+	failpoints.byName = map[string]*failpoint{}
+	failpoints.armed.Store(false)
+	failpoints.mu.Unlock()
+}
+
+// FailpointHits returns how many times the named failpoint has fired.
+func FailpointHits(name string) int64 {
+	failpoints.mu.RLock()
+	defer failpoints.mu.RUnlock()
+	if fp := failpoints.byName[name]; fp != nil {
+		return fp.hits.Load()
+	}
+	return 0
+}
+
+// ActiveFailpoints lists the armed failpoint names, sorted (diagnostics:
+// the serve binary logs it at startup so an accidentally armed injection
+// environment is visible).
+func ActiveFailpoints() []string {
+	failpoints.mu.RLock()
+	defer failpoints.mu.RUnlock()
+	out := make([]string, 0, len(failpoints.byName))
+	for name := range failpoints.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parseFailpoint(spec string) (*failpoint, error) {
+	fp := &failpoint{prob: 1}
+	if mode, probStr, ok := strings.Cut(spec, ":"); ok {
+		p, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability %q (want (0,1])", probStr)
+		}
+		fp.prob = p
+		spec = mode
+	}
+	switch {
+	case spec == "error":
+		fp.mode = fpError
+	case spec == "panic":
+		fp.mode = fpPanic
+	case strings.HasPrefix(spec, "sleep(") && strings.HasSuffix(spec, ")"):
+		d, err := time.ParseDuration(spec[len("sleep(") : len(spec)-1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad sleep duration in %q", spec)
+		}
+		fp.mode = fpSleep
+		fp.delay = d
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want error, panic, or sleep(DUR))", spec)
+	}
+	return fp, nil
+}

@@ -1,0 +1,57 @@
+// Package resilience is the serving stack's fault-tolerance substrate:
+// admission control, panic isolation, and deterministic fault injection.
+// It depends only on the standard library so any layer — the HTTP
+// front-end, the artifact store, individual estimators — can use it
+// without import cycles.
+//
+// The package provides four facilities:
+//
+//   - Semaphore: a weighted FIFO counting semaphore (the admission
+//     primitive; acquisition is context-bounded, so a request's deadline
+//     caps how long it may queue).
+//   - Admission: two-class admission control separating cheap snapshot
+//     reads (/estimate, /recommend) from expensive mutators (/train,
+//     /datasets), plus a bounded single-flight train queue. Overload sheds
+//     the expensive class while the cheap class keeps serving from the
+//     existing snapshot.
+//   - Guard: runs a function behind a panic fence, converting a panic into
+//     a typed *PanicError so one faulting model quarantines instead of
+//     killing the process.
+//   - Failpoint: an env-gated fault-injection hook compiled into the
+//     store/onboarding/estimator paths, driving deterministic
+//     fault-injection and soak tests (see the AUTOCE_FAILPOINTS format in
+//     failpoint.go).
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic converted into an error by Guard. Name
+// identifies the fenced call site, Value is the recovered panic value, and
+// Stack the goroutine stack captured at recovery.
+type PanicError struct {
+	Name  string
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilience: panic in %s: %v", e.Name, e.Value)
+}
+
+// Guard runs fn behind a panic fence: a panic inside fn is recovered and
+// returned as a *PanicError (detectable with errors.As) instead of
+// unwinding into the caller. Use it to isolate calls into code that may
+// fault — a misbehaving estimator kernel, a fault-injected store — so the
+// process survives and the caller can quarantine the faulting component.
+func Guard(name string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Name: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

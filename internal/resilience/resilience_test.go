@@ -1,0 +1,364 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBasic(t *testing.T) {
+	s := NewSemaphore(3)
+	if !s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) on empty capacity-3 semaphore failed")
+	}
+	if s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) with 1 free succeeded")
+	}
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) with 1 free failed")
+	}
+	s.Release(3)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after full release", got)
+	}
+}
+
+func TestSemaphoreAcquireBlocksUntilRelease(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Acquire(context.Background(), 1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("second Acquire returned %v before release", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	s.Release(1)
+}
+
+func TestSemaphoreAcquireHonorsContext(t *testing.T) {
+	s := NewSemaphore(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire under expired deadline returned %v", err)
+	}
+	// The timed-out waiter must not have leaked weight or a queue slot.
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("semaphore wedged after a timed-out waiter")
+	}
+	s.Release(1)
+}
+
+func TestSemaphoreOverweightAcquireFails(t *testing.T) {
+	s := NewSemaphore(2)
+	if err := s.Acquire(context.Background(), 3); err == nil {
+		t.Fatal("Acquire above capacity succeeded")
+	}
+}
+
+func TestSemaphoreFIFONoOvertaking(t *testing.T) {
+	s := NewSemaphore(2)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	heavyQueued := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(heavyQueued)
+		if err := s.Acquire(context.Background(), 2); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, 2)
+		mu.Unlock()
+		s.Release(2)
+	}()
+	<-heavyQueued
+	time.Sleep(10 * time.Millisecond) // let the heavy waiter enqueue
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.Acquire(context.Background(), 1); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		s.Release(1)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	// A light TryAcquire must not jump the queued heavy waiter either.
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire overtook a queued waiter")
+	}
+	s.Release(2)
+	wg.Wait()
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("acquisition order %v, want the queued heavy waiter first", order)
+	}
+}
+
+func TestSemaphoreConcurrentStress(t *testing.T) {
+	s := NewSemaphore(4)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(weight int64) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Acquire(context.Background(), weight); err != nil {
+					t.Error(err)
+					return
+				}
+				cur := inUse.Add(weight)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inUse.Add(-weight)
+				s.Release(weight)
+			}
+		}(int64(w%2 + 1))
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("concurrent weight peaked at %d, capacity 4", p)
+	}
+}
+
+func TestAdmissionClassesAreIndependent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{CheapSlots: 2, HeavySlots: 1, TrainQueue: 1})
+	// Saturate the heavy class.
+	releaseHeavy, err := a.AdmitHeavy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AdmitHeavy(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second heavy admit returned %v, want ErrOverloaded (shed)", err)
+	}
+	// Cheap reads still admit: the shed-on-overload property.
+	releaseCheap, err := a.AdmitCheap(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("cheap admit while heavy class saturated: %v", err)
+	}
+	releaseCheap()
+	releaseHeavy()
+	if _, err := a.AdmitHeavy(); err != nil {
+		t.Fatalf("heavy admit after release: %v", err)
+	}
+}
+
+func TestAdmissionCheapDeadline(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{CheapSlots: 1, HeavySlots: 1, TrainQueue: 1})
+	release, err := a.AdmitCheap(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.AdmitCheap(ctx, 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cheap admit past deadline returned %v", err)
+	}
+	release()
+}
+
+func TestAdmissionCheapWeightClamped(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{CheapSlots: 4, HeavySlots: 1, TrainQueue: 1})
+	// A batch heavier than the whole class admits alone instead of failing.
+	release, err := a.AdmitCheap(context.Background(), 1000)
+	if err != nil {
+		t.Fatalf("oversized cheap admit: %v", err)
+	}
+	release()
+}
+
+func TestAdmissionTrainQueueBounded(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{CheapSlots: 1, HeavySlots: 1, TrainQueue: 2})
+	// First train holds the run slot.
+	release1, err := a.AdmitTrain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second train occupies the remaining queue slot, waiting for the run
+	// slot.
+	type res struct {
+		release func()
+		err     error
+	}
+	second := make(chan res, 1)
+	go func() {
+		r, err := a.AdmitTrain(context.Background())
+		second <- res{r, err}
+	}()
+	// Give the second train time to take its queue slot.
+	time.Sleep(20 * time.Millisecond)
+	// Third train: queue full -> 429-style failure, immediately.
+	if _, err := a.AdmitTrain(context.Background()); !errors.Is(err, ErrTrainQueueFull) {
+		t.Fatalf("train admit with full queue returned %v", err)
+	}
+	release1()
+	r := <-second
+	if r.err != nil {
+		t.Fatalf("queued train failed: %v", r.err)
+	}
+	r.release()
+	// Everything released: admits again.
+	release3, err := a.AdmitTrain(context.Background())
+	if err != nil {
+		t.Fatalf("train admit after drain: %v", err)
+	}
+	release3()
+}
+
+func TestAdmissionTrainQueueWaitHonorsDeadline(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{CheapSlots: 1, HeavySlots: 1, TrainQueue: 4})
+	release, err := a.AdmitTrain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.AdmitTrain(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued train past deadline returned %v", err)
+	}
+	release()
+	// The timed-out waiter must have returned its queue slot.
+	release2, err := a.AdmitTrain(context.Background())
+	if err != nil {
+		t.Fatalf("train admit after timed-out waiter: %v", err)
+	}
+	release2()
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard("boom-site", func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Guard returned %v, want *PanicError", err)
+	}
+	if pe.Name != "boom-site" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError %+v missing fields", pe)
+	}
+	if err := Guard("fine", func() error { return nil }); err != nil {
+		t.Fatalf("Guard of clean fn returned %v", err)
+	}
+	want := errors.New("regular")
+	if err := Guard("errs", func() error { return want }); err != want {
+		t.Fatalf("Guard swallowed the regular error: %v", err)
+	}
+}
+
+func TestFailpointModes(t *testing.T) {
+	defer ClearFailpoints()
+
+	// Unarmed: nil, fast path.
+	if err := Failpoint("nothing"); err != nil {
+		t.Fatalf("unarmed failpoint fired: %v", err)
+	}
+
+	if err := SetFailpoint("fp.err", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Failpoint("fp.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error-mode failpoint returned %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Name != "fp.err" {
+		t.Fatalf("injected error %v lacks its name", err)
+	}
+	if hits := FailpointHits("fp.err"); hits != 1 {
+		t.Fatalf("hit counter = %d, want 1", hits)
+	}
+	// Other names stay silent.
+	if err := Failpoint("fp.other"); err != nil {
+		t.Fatalf("unrelated failpoint fired: %v", err)
+	}
+
+	if err := SetFailpoint("fp.panic", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	gerr := Guard("fp", func() error { return Failpoint("fp.panic") })
+	var pe *PanicError
+	if !errors.As(gerr, &pe) {
+		t.Fatalf("panic-mode failpoint through Guard returned %v", gerr)
+	}
+
+	if err := SetFailpoint("fp.sleep", "sleep(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := Failpoint("fp.sleep"); err != nil {
+		t.Fatalf("sleep-mode failpoint returned %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("sleep-mode failpoint returned after %v, want >= 30ms", d)
+	}
+
+	ClearFailpoint("fp.err")
+	if err := Failpoint("fp.err"); err != nil {
+		t.Fatalf("cleared failpoint still fires: %v", err)
+	}
+	got := ActiveFailpoints()
+	if len(got) != 2 || got[0] != "fp.panic" || got[1] != "fp.sleep" {
+		t.Fatalf("ActiveFailpoints = %v", got)
+	}
+}
+
+func TestFailpointProbability(t *testing.T) {
+	defer ClearFailpoints()
+	if err := SetFailpoint("fp.prob", "error:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 400; i++ {
+		if Failpoint("fp.prob") != nil {
+			fired++
+		}
+	}
+	// p=0.5 over 400 trials: [100, 300] is > 10 sigma of slack.
+	if fired < 100 || fired > 300 {
+		t.Fatalf("p=0.5 failpoint fired %d/400 times", fired)
+	}
+}
+
+func TestFailpointSpecParsing(t *testing.T) {
+	defer ClearFailpoints()
+	if err := SetFailpoints("a=error:0.25, b=panic; c=sleep(5ms):0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ActiveFailpoints(); len(got) != 3 {
+		t.Fatalf("ActiveFailpoints = %v, want 3 entries", got)
+	}
+	for _, bad := range []string{"", "nonsense", "sleep", "sleep(x)", "error:0", "error:1.5", "panic:-1"} {
+		if err := SetFailpoint("bad", bad); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+	if err := SetFailpoints("justname"); err == nil {
+		t.Error("entry without '=' parsed")
+	}
+}

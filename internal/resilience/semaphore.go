@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Semaphore is a weighted counting semaphore with FIFO fairness:
+// waiters acquire in arrival order, so a stream of light acquisitions
+// cannot starve a queued heavy one. Acquisition is context-bounded —
+// a caller waits at most until its request deadline.
+//
+// The implementation mirrors golang.org/x/sync/semaphore (which the
+// build environment does not vendor) with the subset of semantics the
+// admission controller needs.
+type Semaphore struct {
+	capacity int64
+
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *waiter
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{} // closed when the weight is granted
+}
+
+// NewSemaphore returns a semaphore admitting up to capacity total weight.
+func NewSemaphore(capacity int64) *Semaphore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("resilience: semaphore capacity %d must be positive", capacity))
+	}
+	return &Semaphore{capacity: capacity}
+}
+
+// Capacity returns the semaphore's total weight.
+func (s *Semaphore) Capacity() int64 { return s.capacity }
+
+// InUse returns the currently held weight (diagnostics; racy by nature).
+func (s *Semaphore) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// TryAcquire acquires weight n without waiting; it reports whether the
+// acquisition succeeded. It fails (rather than jumping the queue) while
+// earlier waiters are queued.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.capacity && s.waiters.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// Acquire acquires weight n, waiting in FIFO order until the weight is
+// available or ctx is done. A weight above the capacity fails immediately
+// (it could never be granted). On error, no weight is held.
+func (s *Semaphore) Acquire(ctx context.Context, n int64) error {
+	if n > s.capacity {
+		return fmt.Errorf("resilience: acquire weight %d exceeds semaphore capacity %d", n, s.capacity)
+	}
+	s.mu.Lock()
+	if s.cur+n <= s.capacity && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted between ctx firing and taking the lock: hand the
+			// weight back rather than leaking it.
+			s.cur -= n
+			s.notify()
+		default:
+			s.waiters.Remove(elem)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	case <-w.ready:
+		return nil
+	}
+}
+
+// Release returns weight n to the semaphore, waking queued waiters in
+// order.
+func (s *Semaphore) Release(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur -= n
+	if s.cur < 0 {
+		panic("resilience: semaphore released more than held")
+	}
+	s.notify()
+}
+
+// notify grants queued waiters in FIFO order while capacity lasts. Called
+// with mu held.
+func (s *Semaphore) notify() {
+	for {
+		front := s.waiters.Front()
+		if front == nil {
+			return
+		}
+		w := front.Value.(*waiter)
+		if s.cur+w.n > s.capacity {
+			// Strict FIFO: do not let a lighter waiter behind the front
+			// overtake it, or heavy acquisitions starve under light load.
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(front)
+		close(w.ready)
+	}
+}

@@ -14,6 +14,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -302,14 +303,35 @@ func NewTrainInput(d *dataset.Dataset, cfg Config) *ce.TrainInput {
 // (skipping the exact subset-size enumeration), and data-driven models
 // read no labeled workload (skipping oracle labeling).
 func NewTrainInputFor(d *dataset.Dataset, cfg Config, kind ce.Kind) *ce.TrainInput {
-	in := &ce.TrainInput{Dataset: d}
+	in, _ := NewTrainInputForCtx(context.Background(), d, cfg, kind)
+	return in
+}
+
+// NewTrainInputForCtx is NewTrainInputFor under a deadline: each staging
+// phase (workload labeling, join sampling, subset-size enumeration)
+// checks ctx before starting, and the subset-size enumeration — the
+// phase whose cost grows exponentially with table count — additionally
+// cancels mid-loop. The returned TrainInput carries ctx onward so Fit
+// implementations observe the same deadline at their epoch checkpoints.
+func NewTrainInputForCtx(ctx context.Context, d *dataset.Dataset, cfg Config, kind ce.Kind) (*ce.TrainInput, error) {
+	in := &ce.TrainInput{Dataset: d, Ctx: ctx}
 	if kind != ce.DataDriven {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
 		in.Queries = workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
 	}
 	if kind != ce.QueryDriven {
+		if err := context.Cause(ctx); err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(cfg.Seed + 2))
 		in.Sample = engine.SampleJoin(d, cfg.SampleRows, rng)
-		in.Sizes = ce.ComputeSubsetSizes(d)
+		sizes, err := ce.ComputeSubsetSizesCtx(ctx, d)
+		if err != nil {
+			return nil, err
+		}
+		in.Sizes = sizes
 	}
-	return in
+	return in, nil
 }
