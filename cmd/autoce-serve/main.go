@@ -31,9 +31,12 @@
 //	                 {"dataset": "db1", "queries": [{...}, ...]}
 //	                 -> cardinality estimates from the trained model's
 //	                    batched hot path
-//	GET  /models     -> the estimator registry (name/kind/candidate) and
-//	                    the trained models per dataset
-//	GET  /healthz    -> liveness plus RCS/dataset/model counts
+//	GET  /models     -> the estimator registry (name/kind/candidate), the
+//	                    trained models per dataset with their cache
+//	                    residency (loaded/evicted/quarantined), and the
+//	                    model cache's budget utilization
+//	GET  /healthz    -> liveness plus RCS/dataset/model counts, model
+//	                    cache and artifact-store stats, shard identity
 //	GET  /readyz     -> readiness: 200 while accepting traffic, 503 once
 //	                    shutdown begins (load-balancer drain signal)
 //
@@ -42,13 +45,30 @@
 // payloads use dataset-level table/column indexes with closed-interval
 // range predicates.
 //
-// Requests are served from lock-free snapshots (the advisor's
-// core.Snapshot and the model zoo's zooState), so any number of
-// /recommend, /drift, and /estimate calls proceed concurrently; /adapt,
-// /datasets, and /train mutate in the background of those reads and
-// atomically publish successor snapshots. Shutdown is graceful:
-// SIGINT/SIGTERM flip /readyz to 503, stop the listener, and drain
-// in-flight requests.
+// Requests are served from lock-free snapshots: the advisor's
+// core.Snapshot, and one atomically-published snapshot per tenant
+// dataset — republishing one tenant (retrain, re-onboard) never swaps
+// another tenant's view. Any number of /recommend, /drift, and /estimate
+// calls proceed concurrently; /adapt, /datasets, and /train mutate in
+// the background of those reads and atomically publish successor
+// snapshots. Shutdown is graceful: SIGINT/SIGTERM flip /readyz to 503,
+// stop the listener, and drain in-flight requests.
+//
+// # Multi-tenancy
+//
+// Three mechanisms make "thousands of tenant datasets" the design point
+// (see README "Multi-tenant serving"):
+//
+//   - A budgeted model cache (-model-budget, -model-mem-budget) pages
+//     trained models between memory and the -model-dir artifact store,
+//     LRU-first; evicted models cold-load transparently and
+//     bit-identically on the next estimate (cache.go).
+//   - Concurrent single-query /estimate calls for the same served model
+//     coalesce into one EstimateBatch ride through admission
+//     (-no-coalesce to disable).
+//   - Rendezvous shard routing (-shard-index, -shard-count,
+//     -shard-peers) splits the tenant space across a fleet; non-owned
+//     datasets answer 421 or are thin-proxied to the owner (shard.go).
 //
 // # Resilience
 //
@@ -78,10 +98,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -91,6 +113,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/resilience"
 	"repro/internal/testbed"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -105,10 +128,27 @@ func main() {
 	estimateDeadline := flag.Duration("estimate-deadline", 0, "per-request deadline for /estimate (0 = default 5s)")
 	trainDeadline := flag.Duration("train-deadline", 0, "per-request deadline for /train (0 = default 120s)")
 	onboardDeadline := flag.Duration("onboard-deadline", 0, "per-request deadline for /datasets and /adapt (0 = default 60s)")
+	modelBudget := flag.Int("model-budget", 0, "max trained models resident in memory across all tenants; beyond it the LRU pages models out to -model-dir (0 = unlimited)")
+	modelMemBudget := flag.String("model-mem-budget", "", "max artifact bytes resident in memory, e.g. 64MiB (empty/0 = unlimited); requires -model-dir to page out")
+	noCoalesce := flag.Bool("no-coalesce", false, "disable merging concurrent single-query /estimate calls into batched rides")
+	shardIndex := flag.Int("shard-index", 0, "this instance's shard number in a sharded fleet (see -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shards in the fleet; datasets are routed by rendezvous hash, others answer 421 (0/1 = unsharded)")
+	shardPeers := flag.String("shard-peers", "", "comma-separated base URLs of all shards (including this one); enables thin-proxy forwarding of X-Shard-Key requests")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (useful with -addr :0)")
 	flag.Parse()
 	if *advisorPath == "" {
 		fmt.Fprintln(os.Stderr, "autoce-serve: -advisor is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	memBudget, err := parseByteSize(*modelMemBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoce-serve: -model-mem-budget: %v\n", err)
+		os.Exit(2)
+	}
+	shard, err := newSharder(*shardIndex, *shardCount, *shardPeers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoce-serve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -138,9 +178,12 @@ func main() {
 		EstimateDeadline: *estimateDeadline,
 		TrainDeadline:    *trainDeadline,
 		OnboardDeadline:  *onboardDeadline,
+		ModelBudget:      *modelBudget,
+		ModelMemBudget:   memBudget,
+		NoCoalesce:       *noCoalesce,
+		Shard:            shard,
 	})
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           app,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
@@ -150,9 +193,24 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *addrFile != "" {
+		// Published after binding, so a harness spawning this process on
+		// ":0" learns the kernel-assigned port.
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	go func() { errCh <- srv.Serve(ln) }()
+	if shard != nil {
+		log.Printf("serving on %s (shard %d of %d)", ln.Addr(), shard.index, shard.count)
+	} else {
+		log.Printf("serving on %s", ln.Addr())
+	}
 
 	select {
 	case err := <-errCh:
@@ -169,16 +227,22 @@ func main() {
 	log.Print("bye")
 }
 
-// server holds the shared advisor, the artifact store, and the model-zoo
-// serving snapshot behind the HTTP handlers.
+// server holds the shared advisor, the artifact store, and the
+// multi-tenant serving state behind the HTTP handlers.
 type server struct {
 	adv   *core.Advisor
 	store *ce.Store // nil: in-memory only
 
-	// zoo is the lock-free serving snapshot of onboarded datasets and
-	// their trained models; zooMu serializes mutators (see models.go).
-	zoo   atomic.Pointer[zooState]
-	zooMu sync.Mutex
+	// fleet holds one atomically swapped snapshot per tenant dataset;
+	// cache is the budgeted paging layer deciding which trained models
+	// stay decoded in memory (see models.go and cache.go).
+	fleet *fleet
+	cache *modelCache
+	// coalesce merges concurrent single-query /estimate calls for the
+	// same served model into one batched ride; shard, when non-nil,
+	// scopes this instance to its rendezvous-owned datasets (shard.go).
+	coalesce *resilience.Coalescer[*workload.Query, float64]
+	shard    *sharder
 
 	// adm is the two-class admission controller; opts carries the
 	// per-endpoint deadlines (see resilience.go).
@@ -207,7 +271,10 @@ func newServer(adv *core.Advisor, store *ce.Store) http.Handler {
 func newServerOpts(adv *core.Advisor, store *ce.Store, opts serveOptions) *server {
 	s := &server{adv: adv, store: store, opts: opts.withDefaults()}
 	s.adm = resilience.NewAdmission(s.opts.Admission)
-	s.zoo.Store(&zooState{tenants: map[string]*tenant{}})
+	s.fleet = newFleet()
+	s.cache = newModelCache(store, s.opts.ModelBudget, s.opts.ModelMemBudget)
+	s.coalesce = &resilience.Coalescer[*workload.Query, float64]{MaxBatch: maxBatchQueries}
+	s.shard = s.opts.Shard
 	s.ready.Store(true)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/recommend", s.cheap(s.opts.QuickDeadline, s.handleRecommend))
@@ -220,7 +287,7 @@ func newServerOpts(adv *core.Advisor, store *ce.Store, opts serveOptions) *serve
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	s.handler = recovered(mux)
+	s.handler = recovered(s.shard.middleware(mux))
 	return s
 }
 
@@ -302,8 +369,11 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "provide either \"dataset\" or an inline graph, not both")
 			return
 		}
-		tn, ok := s.zoo.Load().tenants[req.Dataset]
-		if !ok {
+		if !s.shardOK(w, req.Dataset) {
+			return
+		}
+		tn := s.fleet.tenant(req.Dataset)
+		if tn == nil {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded", req.Dataset))
 			return
 		}
@@ -408,17 +478,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	state := s.zoo.Load()
+	tenants := s.fleet.snapshot()
 	trained := 0
-	for _, tn := range state.tenants {
+	for _, tn := range tenants {
 		trained += len(tn.models)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"ok":             true,
 		"rcs_size":       len(s.adv.RCS()),
-		"datasets":       len(state.tenants),
+		"datasets":       len(tenants),
 		"trained_models": trained,
-	})
+		"model_cache":    s.cache.stats(),
+	}
+	if s.store != nil {
+		resp["model_store"] = s.store.Stats()
+	}
+	if s.shard != nil {
+		resp["shard"] = map[string]any{"index": s.shard.index, "count": s.shard.count}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // graphFor validates and converts a graph payload against the advisor's
@@ -481,4 +559,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// parseByteSize parses a human-readable byte count: a plain integer or
+// one with a K/M/G suffix (optionally Ki/Mi/Gi, optionally trailing B;
+// case-insensitive). All multipliers are binary (K = 1024). Empty means 0.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	u := strings.ToLower(s)
+	mult := int64(1)
+	u = strings.TrimSuffix(u, "b")
+	u = strings.TrimSuffix(u, "i")
+	switch {
+	case strings.HasSuffix(u, "k"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "k")
+	case strings.HasSuffix(u, "m"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "m")
+	case strings.HasSuffix(u, "g"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "g")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%q is not a byte size (want e.g. 64MiB, 512K, 1073741824)", s)
+	}
+	return n * mult, nil
 }

@@ -18,7 +18,7 @@ import (
 // testAdvisor trains a small advisor on a synthetic corpus with a clean
 // learnable structure (single-table datasets favor model 0, multi-table
 // model 1, model 2 always wins efficiency).
-func testAdvisor(t *testing.T, n int) (*core.Advisor, []*core.Sample) {
+func testAdvisor(t testing.TB, n int) (*core.Advisor, []*core.Sample) {
 	t.Helper()
 	featCfg := feature.DefaultConfig()
 	rng := rand.New(rand.NewSource(19))
@@ -56,7 +56,7 @@ func testAdvisor(t *testing.T, n int) (*core.Advisor, []*core.Sample) {
 	return adv, samples
 }
 
-func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+func postJSON(t testing.TB, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(body); err != nil {

@@ -1,18 +1,21 @@
 package main
 
 // The model-lifecycle half of the serving front-end: dataset onboarding,
-// registry-driven training, and batched estimation served from an
-// atomically swapped snapshot. This closes the loop the advisor opens —
-// /recommend names a model, /train fits that model on the onboarded
-// dataset through the ce registry, and /estimate answers cardinality
-// queries from it.
+// registry-driven training, and batched estimation served from per-tenant
+// snapshots. This closes the loop the advisor opens — /recommend names a
+// model, /train fits that model on the onboarded dataset through the ce
+// registry, and /estimate answers cardinality queries from it.
 //
-// Concurrency mirrors internal/core's serving snapshot: readers load an
-// immutable zooState from an atomic pointer and never block; mutators
-// (/datasets, /train) serialize on a lock, copy the state, and publish the
-// successor. Models whose inference is stateful (Spec.Concurrent == false)
-// are additionally guarded by a per-model mutex, so sampling-based
-// estimators stay correct under concurrent /estimate traffic.
+// Concurrency is per tenant: every onboarded dataset owns a tenantHandle
+// whose immutable snapshot readers load from an atomic pointer without
+// blocking, and whose mutators (/datasets replace, /train publish)
+// serialize on that handle's lock alone. Republishing one tenant swaps one
+// pointer; every other tenant's snapshot — by pointer identity — is
+// untouched, so a busy tenant's retrain loop cannot add even a cache-line
+// of contention to its neighbors. Model residency (which trained models
+// are decoded in memory versus paged out to the artifact store) is the
+// modelCache's business (cache.go); snapshots hold servedModel handles
+// that survive eviction.
 
 import (
 	"context"
@@ -53,60 +56,6 @@ const (
 	defaultWa        = 0.9
 )
 
-// servedModel is one trained model published in the serving snapshot.
-type servedModel struct {
-	spec  ce.Spec
-	model ce.Model
-	// mu guards models whose inference mutates internal state (sampling
-	// RNGs); nil for concurrent-safe models.
-	mu *sync.Mutex
-	// quarantined marks a model whose inference panicked. Snapshot clones
-	// share servedModel pointers, so the flag survives republishes of
-	// other models and clears only when this (dataset, model) pair is
-	// retrained — which replaces the servedModel wholesale.
-	quarantined atomic.Bool
-}
-
-func newServedModel(spec ce.Spec, m ce.Model) *servedModel {
-	sm := &servedModel{spec: spec, model: m}
-	if !spec.Concurrent {
-		sm.mu = &sync.Mutex{}
-	}
-	return sm
-}
-
-// errModelQuarantined reports inference against a model whose earlier
-// inference panicked; only retraining clears it.
-var errModelQuarantined = errors.New("model is quarantined after an inference panic; retrain it")
-
-// estimate runs the batched hot path under the model's guard (if any),
-// fenced: a panic inside this model's inference is converted to an error
-// and quarantines the model — subsequent estimates against it fail fast
-// with 503 while every other served model keeps answering. The context
-// bounds the batch (chunked, cooperative).
-func (sm *servedModel) estimate(ctx context.Context, qs []*workload.Query) ([]float64, error) {
-	if sm.quarantined.Load() {
-		return nil, errModelQuarantined
-	}
-	var out []float64
-	err := resilience.Guard("estimate:"+sm.spec.Name, func() error {
-		if sm.mu != nil {
-			sm.mu.Lock()
-			defer sm.mu.Unlock()
-		}
-		var err error
-		out, err = ce.EstimateBatchContext(ctx, sm.model, qs)
-		return err
-	})
-	var pe *resilience.PanicError
-	if errors.As(err, &pe) {
-		sm.quarantined.Store(true)
-		log.Printf("quarantining model %s after inference panic: %v\n%s", sm.spec.Name, pe.Value, pe.Stack)
-		return nil, errModelQuarantined
-	}
-	return out, err
-}
-
 // schemaSignature fingerprints a dataset's structure — table/column
 // counts, primary keys, and FK edges. Artifacts record it at training
 // time; a reloaded model is only served when the onboarded dataset still
@@ -142,17 +91,63 @@ func (t *tenant) clone() *tenant {
 	return nt
 }
 
-// zooState is the immutable serving snapshot of every onboarded dataset.
-type zooState struct {
-	tenants map[string]*tenant
+// tenantHandle is one tenant's serving slot: an atomically swapped
+// immutable snapshot plus the mutator lock serializing republishes of
+// this tenant only. A republish swaps this handle's pointer and no
+// other's — the isolation the multi-tenant fleet is built on.
+type tenantHandle struct {
+	name string
+	mu   sync.Mutex // serializes mutators (onboard-replace, train publish)
+	snap atomic.Pointer[tenant]
 }
 
-func (z *zooState) clone() *zooState {
-	nz := &zooState{tenants: make(map[string]*tenant, len(z.tenants))}
-	for k, v := range z.tenants {
-		nz.tenants[k] = v
+// fleet maps dataset names to their handles. The map only grows (there is
+// no offboarding endpoint) and a slot is never replaced once created, so
+// a loaded handle stays valid for the process lifetime.
+type fleet struct {
+	mu sync.RWMutex
+	m  map[string]*tenantHandle
+}
+
+func newFleet() *fleet { return &fleet{m: map[string]*tenantHandle{}} }
+
+// tenant returns name's current serving snapshot, or nil if the dataset
+// was never onboarded (or its first onboarding has not published yet).
+func (f *fleet) tenant(name string) *tenant {
+	f.mu.RLock()
+	h := f.m[name]
+	f.mu.RUnlock()
+	if h == nil {
+		return nil
 	}
-	return nz
+	return h.snap.Load()
+}
+
+// getOrCreate returns name's handle, creating the empty slot on first
+// onboard.
+func (f *fleet) getOrCreate(name string) *tenantHandle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.m[name]
+	if h == nil {
+		h = &tenantHandle{name: name}
+		f.m[name] = h
+	}
+	return h
+}
+
+// snapshot returns every published tenant keyed by name — a point-in-time
+// read for listing endpoints; per-tenant pointers stay live-updating.
+func (f *fleet) snapshot() map[string]*tenant {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]*tenant, len(f.m))
+	for name, h := range f.m {
+		if tn := h.snap.Load(); tn != nil {
+			out[name] = tn
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------- onboard
@@ -271,10 +266,14 @@ func hasPredicableColumn(d *dataset.Dataset) bool {
 }
 
 // handleDatasets onboards (or replaces) a dataset: validate, extract the
-// feature graph, reload any stored artifacts, and publish the new tenant.
+// feature graph, register any stored artifacts as cold-loadable models,
+// and publish the new tenant snapshot.
 func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	var req datasetRequest
 	if !decodePost(w, r, &req) {
+		return
+	}
+	if !s.shardOK(w, req.Name) {
 		return
 	}
 	// Failpoint "serve.onboard" injects an onboarding failure after decode
@@ -300,11 +299,15 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tn := &tenant{d: d, graph: g, models: map[string]*servedModel{}}
-	// Reload persisted artifacts for this dataset name, so a restarted
-	// server resumes serving estimates once the data is back. Artifacts
-	// whose recorded schema fingerprint does not match the onboarded
-	// dataset are skipped: they were trained on a structurally different
-	// version of the data and would index it wrongly.
+	// Register persisted artifacts for this dataset name as cold-loadable
+	// stubs, so a restarted server resumes serving estimates once the data
+	// is back. Only the artifact wrapper is read here (schema fingerprint,
+	// integrity, size) — the model itself decodes on first estimate, which
+	// keeps onboarding hundreds of tenants cheap and lets the model cache,
+	// not the onboarding path, decide what is resident. Artifacts whose
+	// recorded schema does not match the onboarded dataset are skipped:
+	// they were trained on a structurally different version of the data
+	// and would index it wrongly.
 	var stored []string
 	if s.store != nil {
 		schema := schemaSignature(d)
@@ -315,21 +318,21 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 				if e.Dataset != d.Name {
 					continue
 				}
-				m, artSchema, err := s.store.Load(e.Dataset, e.Model)
-				if errors.Is(err, ce.ErrCorruptArtifact) {
-					// The store already quarantined the file; the tenant
-					// onboards without this model rather than failing.
-					log.Printf("skipping corrupt artifact for (%s, %s): %v", e.Dataset, e.Model, err)
-					continue
-				}
-				if err != nil || artSchema != schema {
-					continue
-				}
 				spec, ok := ce.Lookup(e.Model)
 				if !ok {
 					continue
 				}
-				tn.models[e.Model] = newServedModel(spec, m)
+				artSchema, size, err := s.store.Info(e.Dataset, e.Model)
+				if err != nil {
+					// Corrupt or unreadable: the tenant onboards without
+					// this model rather than failing.
+					log.Printf("skipping unreadable artifact for (%s, %s): %v", e.Dataset, e.Model, err)
+					continue
+				}
+				if artSchema != schema {
+					continue
+				}
+				tn.models[e.Model] = newStubModel(spec, d.Name, schema, size)
 				stored = append(stored, e.Model)
 				// active tracks the most recently trained model, as it
 				// does on the live /train path; artifact mtime is the
@@ -346,18 +349,22 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.zooMu.Lock()
-	state := s.zoo.Load().clone()
-	if old, ok := state.tenants[d.Name]; ok {
+	h := s.fleet.getOrCreate(d.Name)
+	h.mu.Lock()
+	if old := h.snap.Load(); old != nil {
 		// Replacing a dataset drops its cached engine/statistics state;
 		// previously trained models describe the old data and are dropped
-		// with it (stored artifacts above were reloaded explicitly).
+		// with it (stored artifacts above were re-registered explicitly).
+		// forget, not evict: the old models' state must not be written
+		// back over artifacts the new tenant generation now owns.
 		engine.InvalidateIndex(old.d)
 		dataset.InvalidateStats(old.d)
+		for _, sm := range old.models {
+			s.cache.forget(sm)
+		}
 	}
-	state.tenants[d.Name] = tn
-	s.zoo.Store(state)
-	s.zooMu.Unlock()
+	h.snap.Store(tn)
+	h.mu.Unlock()
 
 	writeJSON(w, http.StatusOK, datasetResponse{
 		Dataset: d.Name, Tables: d.NumTables(), Rows: d.TotalRows(),
@@ -393,8 +400,11 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	tn, ok := s.zoo.Load().tenants[req.Dataset]
-	if !ok {
+	if !s.shardOK(w, req.Dataset) {
+		return
+	}
+	tn := s.fleet.tenant(req.Dataset)
+	if tn == nil {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded (POST /datasets first)", req.Dataset))
 		return
 	}
@@ -508,19 +518,20 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		resp.Wa = wa
 	}
 
-	// Publish: clone the state, swap in the new model snapshot. The model
-	// was trained against the dataset captured in tn; if the dataset was
-	// replaced mid-training (same name, different data — tenant clones
-	// share the dataset pointer, replacements do not), both publishing the
-	// stale model and persisting its artifact would leak a model indexed
-	// for data the tenant no longer holds, so conflict instead. The
-	// artifact write happens under the same lock as the pointer check:
-	// a replacement cannot slip between validation and persistence.
-	s.zooMu.Lock()
-	state := s.zoo.Load().clone()
-	cur, ok := state.tenants[req.Dataset]
-	if !ok || cur.d != tn.d {
-		s.zooMu.Unlock()
+	// Publish under this tenant's handle lock — no other tenant observes
+	// anything. The model was trained against the dataset captured in tn;
+	// if the dataset was replaced mid-training (same name, different data
+	// — tenant clones share the dataset pointer, replacements do not),
+	// both publishing the stale model and persisting its artifact would
+	// leak a model indexed for data the tenant no longer holds, so
+	// conflict instead. The artifact write happens under the same lock as
+	// the pointer check: a replacement cannot slip between validation and
+	// persistence.
+	h := s.fleet.getOrCreate(req.Dataset)
+	h.mu.Lock()
+	cur := h.snap.Load()
+	if cur == nil || cur.d != tn.d {
+		h.mu.Unlock()
 		// Training repopulated the replaced dataset's engine-index and
 		// stats caches after onboarding invalidated them; drop them again
 		// so the unreachable dataset is not pinned for process lifetime.
@@ -529,21 +540,36 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Sprintf("dataset %q was replaced during training; re-train against the new data", req.Dataset))
 		return
 	}
+	// Forget the superseded model before writing the new artifact: its
+	// eviction write-back racing the new Save would clobber the fresh
+	// artifact with pre-retrain state.
+	old := cur.models[name]
+	if old != nil {
+		s.cache.forget(old)
+	}
+	var size int64
 	if s.store != nil {
 		path, err := s.store.Save(req.Dataset, schemaSignature(tn.d), m)
 		if err != nil {
-			s.zooMu.Unlock()
+			if old != nil {
+				s.cache.unforget(old) // the old model resumes serving
+			}
+			h.mu.Unlock()
 			writeError(w, http.StatusInternalServerError, fmt.Sprintf("persisting %s: %v", name, err))
 			return
 		}
 		resp.Artifact = path
+		if fi, err := os.Stat(path); err == nil {
+			size = fi.Size()
+		}
 	}
+	sm := newServedModel(spec, m, req.Dataset, schemaSignature(tn.d))
+	s.cache.install(sm, size)
 	nt := cur.clone()
-	nt.models[name] = newServedModel(spec, m)
+	nt.models[name] = sm
 	nt.active = name
-	state.tenants[req.Dataset] = nt
-	s.zoo.Store(state)
-	s.zooMu.Unlock()
+	h.snap.Store(nt)
+	h.mu.Unlock()
 
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -607,8 +633,11 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	tn, ok := s.zoo.Load().tenants[req.Dataset]
-	if !ok {
+	if !s.shardOK(w, req.Dataset) {
+		return
+	}
+	tn := s.fleet.tenant(req.Dataset)
+	if tn == nil {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded", req.Dataset))
 		return
 	}
@@ -652,21 +681,50 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		qs[i] = q
 	}
 
-	// Admit into the cheap class at batch weight, so one huge batch
-	// competes fairly with many small ones (AdmitCheap clamps oversized
-	// weights to the class capacity).
-	release, err := s.adm.AdmitCheap(r.Context(), int64(len(qs)))
-	if err != nil {
-		writeOverload(w, err)
-		return
+	var ests []float64
+	var err error
+	if len(qs) == 1 && !s.opts.NoCoalesce {
+		// Coalesce concurrent single-query calls for the same served model
+		// into one batched ride: the merged batch admits once at its
+		// merged weight and dispatches one EstimateBatch. The key includes
+		// the servedModel's identity, so calls resolved against different
+		// generations (a retrain mid-flight) never merge — their queries
+		// were validated against different datasets. The batch runs under
+		// its own deadline: a merged execution must not inherit one
+		// caller's nearly-expired context, because every other member
+		// still needs the results.
+		key := req.Dataset + "\x00" + name + "\x00" + fmt.Sprintf("%p", sm)
+		ests, err = s.coalesce.Do(key, qs, func(batch []*workload.Query) ([]float64, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), s.opts.EstimateDeadline)
+			defer cancel()
+			release, err := s.adm.AdmitCheap(ctx, int64(len(batch)))
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			return sm.estimate(ctx, s.cache, batch)
+		})
+	} else {
+		// Admit into the cheap class at batch weight, so one huge batch
+		// competes fairly with many small ones (AdmitCheap clamps
+		// oversized weights to the class capacity).
+		release, aerr := s.adm.AdmitCheap(r.Context(), int64(len(qs)))
+		if aerr != nil {
+			writeOverload(w, aerr)
+			return
+		}
+		ests, err = sm.estimate(r.Context(), s.cache, qs)
+		release()
 	}
-	defer release()
-
-	ests, err := sm.estimate(r.Context(), qs)
 	switch {
 	case errors.Is(err, errModelQuarantined):
 		writeError(w, http.StatusServiceUnavailable,
 			fmt.Sprintf("model %q for dataset %q is quarantined after an inference panic; POST /train to restore it", name, req.Dataset))
+		return
+	case errors.Is(err, errModelSuperseded):
+		w.Header().Set("Retry-After", "0")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("model %q for dataset %q was retrained mid-request; retry against the new model", name, req.Dataset))
 		return
 	case err != nil:
 		writeDeadline(w, "estimate", err)
@@ -692,42 +750,61 @@ type trainedInfo struct {
 	Dataset string `json:"dataset"`
 	Model   string `json:"model"`
 	Active  bool   `json:"active"`
+	// Residency is the paging state: "loaded" (decoded in memory),
+	// "evicted" (cold-loadable from the artifact store on next estimate),
+	// or "quarantined" (failing fast until retrained).
+	Residency string `json:"residency"`
+	SizeBytes int64  `json:"size_bytes,omitempty"` // artifact byte cost
 }
 
 type modelsResponse struct {
 	Models  []modelInfo   `json:"models"`
 	Trained []trainedInfo `json:"trained"`
+	// Cache reports the model cache's budget utilization and paging
+	// counters.
+	Cache cacheStats `json:"cache"`
 }
 
-// handleModels lists the registry and the trained models per dataset.
+// handleModels lists the registry, the trained models per dataset with
+// their cache residency, and the cache's budget utilization.
 func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	resp := modelsResponse{Trained: []trainedInfo{}}
+	resp := modelsResponse{Trained: []trainedInfo{}, Cache: s.cache.stats()}
 	for _, spec := range ce.Specs() {
 		resp.Models = append(resp.Models, modelInfo{
 			Name: spec.Name, Kind: spec.Kind.String(),
 			Candidate: spec.Candidate, Concurrent: spec.Concurrent,
 		})
 	}
-	state := s.zoo.Load()
+	tenants := s.fleet.snapshot()
 	var dsNames []string
-	for name := range state.tenants {
+	for name := range tenants {
 		dsNames = append(dsNames, name)
 	}
 	sort.Strings(dsNames)
 	for _, dn := range dsNames {
-		tn := state.tenants[dn]
+		tn := tenants[dn]
 		var mNames []string
 		for mn := range tn.models {
 			mNames = append(mNames, mn)
 		}
 		sort.Strings(mNames)
 		for _, mn := range mNames {
+			sm := tn.models[mn]
+			resident, size := s.cache.residency(sm)
+			res := "loaded"
+			switch {
+			case sm.quarantined.Load():
+				res = "quarantined"
+			case !resident:
+				res = "evicted"
+			}
 			resp.Trained = append(resp.Trained, trainedInfo{
 				Dataset: dn, Model: mn, Active: mn == tn.active,
+				Residency: res, SizeBytes: size,
 			})
 		}
 	}

@@ -39,7 +39,7 @@ func datasetBody(d *dataset.Dataset) map[string]any {
 	return map[string]any{"name": d.Name, "tables": tables, "fks": fks}
 }
 
-func serveDataset(t *testing.T, tables int, seed int64) *dataset.Dataset {
+func serveDataset(t testing.TB, tables int, seed int64) *dataset.Dataset {
 	t.Helper()
 	p := datagen.Params{
 		Tables:  tables,

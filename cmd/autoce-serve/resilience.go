@@ -22,6 +22,16 @@ package main
 // training or onboarding can never block an /estimate, which keeps
 // serving from the published snapshot — shed-on-overload, not
 // queue-and-collapse.
+//
+// Two serving-path wrinkles compose with the table above:
+//
+//   - Coalesced /estimate singles (cache.go, resilience.Coalescer) run
+//     as one merged batch under a fresh EstimateDeadline and one cheap
+//     admission at the merged weight — a merged caller can therefore see
+//     the 503 the batch earned, never a wrong answer.
+//   - On a sharded instance (shard.go), dataset-addressed endpoints
+//     answer 421 Misdirected Request before admission when the dataset
+//     belongs to another shard.
 
 import (
 	"context"
@@ -53,6 +63,18 @@ type serveOptions struct {
 	OnboardDeadline time.Duration
 	// Admission sizes the two admission classes and the train queue.
 	Admission resilience.AdmissionConfig
+	// ModelBudget caps resident trained models across all tenants, and
+	// ModelMemBudget caps their total artifact bytes; crossing either
+	// pages least-recently-used models out to the artifact store
+	// (cache.go). 0 = unlimited; both require a store to take effect.
+	ModelBudget    int
+	ModelMemBudget int64
+	// NoCoalesce disables merging concurrent single-query /estimate
+	// calls for the same served model into batched rides.
+	NoCoalesce bool
+	// Shard scopes this instance to the datasets it owns in a sharded
+	// fleet; nil serves everything (shard.go).
+	Shard *sharder
 }
 
 func defaultServeOptions() serveOptions {

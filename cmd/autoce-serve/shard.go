@@ -1,0 +1,156 @@
+package main
+
+// Shard-by-dataset routing: a static fleet of autoce-serve processes
+// splits the tenant space so each shard's model cache only pages the
+// datasets it owns. Ownership is rendezvous (highest-random-weight)
+// hashing — every shard computes the same owner for a dataset name with
+// no coordination, and resizing the fleet from n to n+1 shards only moves
+// the keys whose argmax lands on the new shard (~1/(n+1) of them), not
+// half the keyspace like mod-hashing would.
+//
+// Two routing layers compose:
+//
+//   - In-handler: every dataset-addressed endpoint rejects a dataset this
+//     shard does not own with 421 Misdirected Request, naming the owner
+//     (X-Shard-Want, and X-Shard-Peer when peer URLs are configured).
+//     A shard is therefore always safe to hit directly — it can serve a
+//     wrong answer for a misrouted tenant never, only a 421.
+//   - Thin proxy (optional, -shard-peers): a request carrying an
+//     X-Shard-Key header for a dataset owned elsewhere is reverse-proxied
+//     to the owner before the body is even decoded, so any shard can
+//     front the whole fleet for clients that set the header.
+//     X-Shard-Forwarded guards against forwarding loops when peers
+//     disagree about the topology mid-rollout: a forwarded request is
+//     never forwarded again, it answers 421 instead.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+type sharder struct {
+	index int
+	count int
+	peers []*url.URL               // len == count in proxy mode, nil otherwise
+	prox  []*httputil.ReverseProxy // parallel to peers
+}
+
+// newSharder builds the routing config. count <= 1 means no sharding
+// (returns nil); peerList is an optional comma-separated list of count
+// base URLs enabling thin-proxy mode.
+func newSharder(index, count int, peerList string) (*sharder, error) {
+	if count <= 1 {
+		if count == 1 || peerList != "" {
+			// A 1-shard "fleet" with peers is a misconfiguration worth
+			// flagging; count 0 with no peers is simply "sharding off".
+			if peerList != "" {
+				return nil, fmt.Errorf("-shard-peers requires -shard-count >= 2")
+			}
+		}
+		return nil, nil
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("-shard-index %d outside [0, %d)", index, count)
+	}
+	sh := &sharder{index: index, count: count}
+	if peerList != "" {
+		parts := strings.Split(peerList, ",")
+		if len(parts) != count {
+			return nil, fmt.Errorf("-shard-peers lists %d URLs for %d shards", len(parts), count)
+		}
+		for i, p := range parts {
+			u, err := url.Parse(strings.TrimSpace(p))
+			if err != nil || u.Scheme == "" || u.Host == "" {
+				return nil, fmt.Errorf("-shard-peers entry %d (%q) is not an absolute URL", i, p)
+			}
+			sh.peers = append(sh.peers, u)
+			sh.prox = append(sh.prox, httputil.NewSingleHostReverseProxy(u))
+		}
+	}
+	return sh, nil
+}
+
+// shardOf returns the owning shard for key: the shard whose (key, shard)
+// score is highest. Every member of the fleet computes the same answer.
+// The per-shard score runs the key's hash through a full-avalanche
+// finalizer salted by the shard number — hashing the shard's decimal form
+// into the FNV stream instead would bias the argmax badly, because FNV's
+// final byte only perturbs the low bits.
+func (sh *sharder) shardOf(key string) int {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	kh := h.Sum64()
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < sh.count; i++ {
+		if s := mix64(kh ^ (uint64(i)+1)*0x9e3779b97f4a7c15); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// mix64 is the splitmix64 finalizer: a bijective full-avalanche mix, so
+// every shard's salt reshuffles the comparison order uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (sh *sharder) owns(key string) bool { return sh.shardOf(key) == sh.index }
+
+// misdirect answers a request for a dataset this shard does not own.
+func (sh *sharder) misdirect(w http.ResponseWriter, key string) {
+	want := sh.shardOf(key)
+	w.Header().Set("X-Shard-Want", strconv.Itoa(want))
+	hint := ""
+	if sh.peers != nil {
+		w.Header().Set("X-Shard-Peer", sh.peers[want].String())
+		hint = " at " + sh.peers[want].String()
+	}
+	writeError(w, http.StatusMisdirectedRequest, fmt.Sprintf(
+		"dataset %q belongs to shard %d of %d%s; this is shard %d", key, want, sh.count, hint, sh.index))
+}
+
+// shardOK reports whether this shard owns dataset, answering the 421
+// itself when it does not. An empty dataset (the handler will 400 on
+// validation) and an unsharded server always pass.
+func (s *server) shardOK(w http.ResponseWriter, dataset string) bool {
+	if s.shard == nil || dataset == "" || s.shard.owns(dataset) {
+		return true
+	}
+	s.shard.misdirect(w, dataset)
+	return false
+}
+
+// middleware is the thin-proxy layer: requests carrying an X-Shard-Key
+// for a dataset owned by a configured peer are forwarded there wholesale
+// (body undecoded); everything else falls through to the local mux, whose
+// handlers enforce ownership per dataset.
+func (sh *sharder) middleware(next http.Handler) http.Handler {
+	if sh == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("X-Shard-Key")
+		if key == "" || sh.owns(key) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if sh.prox != nil && r.Header.Get("X-Shard-Forwarded") == "" {
+			r.Header.Set("X-Shard-Forwarded", strconv.Itoa(sh.index))
+			sh.prox[sh.shardOf(key)].ServeHTTP(w, r)
+			return
+		}
+		sh.misdirect(w, key)
+	})
+}

@@ -1,0 +1,238 @@
+package main
+
+// Tests for shard-by-dataset routing: rendezvous-hash properties, the
+// in-handler 421 guard, and thin-proxy forwarding between two live
+// shards.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ce"
+)
+
+// postJSONHeaders is postJSON with extra request headers.
+func postJSONHeaders(t *testing.T, ts *httptest.Server, path string, body any, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestSharderRendezvousProperties(t *testing.T) {
+	mk := func(index, count int) *sharder {
+		sh, err := newSharder(index, count, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dataset-%d", i)
+	}
+
+	// Agreement: every member of a 4-shard fleet computes the same owner.
+	owners := map[string]int{}
+	fleet4 := []*sharder{mk(0, 4), mk(1, 4), mk(2, 4), mk(3, 4)}
+	for _, k := range keys {
+		owners[k] = fleet4[0].shardOf(k)
+		for _, sh := range fleet4 {
+			if sh.shardOf(k) != owners[k] {
+				t.Fatalf("shard %d disagrees on owner of %q", sh.index, k)
+			}
+			if sh.owns(k) != (owners[k] == sh.index) {
+				t.Fatalf("owns(%q) inconsistent on shard %d", k, sh.index)
+			}
+		}
+	}
+	// Balance: every shard owns a meaningful slice of 200 keys (an even
+	// split is 50; demand at least 20% of that to catch a broken hash
+	// without flaking on variance).
+	counts := make([]int, 4)
+	for _, o := range owners {
+		counts[o]++
+	}
+	for i, c := range counts {
+		if c < 10 {
+			t.Fatalf("shard %d owns only %d/200 keys: %v", i, c, counts)
+		}
+	}
+	// Minimal disruption: growing 4 -> 5 shards only moves keys onto the
+	// new shard; no key moves between surviving shards.
+	grown := mk(0, 5)
+	moved := 0
+	for _, k := range keys {
+		if o := grown.shardOf(k); o != owners[k] {
+			if o != 4 {
+				t.Fatalf("key %q moved from shard %d to surviving shard %d on grow", k, owners[k], o)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > len(keys)/2 {
+		t.Fatalf("grow moved %d/200 keys; want a small non-zero share", moved)
+	}
+}
+
+func TestSharderConfigValidation(t *testing.T) {
+	if sh, err := newSharder(0, 0, ""); err != nil || sh != nil {
+		t.Fatalf("unsharded config: (%v, %v)", sh, err)
+	}
+	if _, err := newSharder(2, 2, ""); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := newSharder(0, 2, "http://a:1"); err == nil {
+		t.Fatal("peer-count mismatch accepted")
+	}
+	if _, err := newSharder(0, 2, "http://a:1,not a url"); err == nil {
+		t.Fatal("malformed peer URL accepted")
+	}
+	if _, err := newSharder(0, 0, "http://a:1"); err == nil {
+		t.Fatal("peers without shard-count accepted")
+	}
+}
+
+// ownedKey finds a dataset name owned by the wanted shard.
+func ownedKey(t *testing.T, sh *sharder, want int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("ds-%d", i)
+		if sh.shardOf(k) == want {
+			return k
+		}
+	}
+	t.Fatal("no key found for shard")
+	return ""
+}
+
+// TestServeShardMisdirected421 pins the ownership guard: a shard answers
+// 421 (naming the owner) for datasets it does not own, on every
+// dataset-addressed endpoint, and serves its own normally.
+func TestServeShardMisdirected421(t *testing.T) {
+	sh, err := newSharder(0, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := serveWithOpts(t, nil, serveOptions{Shard: sh})
+	foreign := ownedKey(t, sh, 1)
+	mine := ownedKey(t, sh, 0)
+
+	for _, req := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/datasets", map[string]any{"name": foreign, "tables": []map[string]any{}}},
+		{"/train", map[string]any{"dataset": foreign}},
+		{"/estimate", map[string]any{"dataset": foreign, "query": map[string]any{"tables": []int{0}}}},
+		{"/recommend", map[string]any{"dataset": foreign, "wa": 0.5}},
+	} {
+		resp, data := postJSON(t, ts, req.path, req.body)
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Fatalf("%s for foreign dataset returned %d: %s", req.path, resp.StatusCode, data)
+		}
+		if got := resp.Header.Get("X-Shard-Want"); got != "1" {
+			t.Fatalf("%s X-Shard-Want = %q, want 1", req.path, got)
+		}
+	}
+
+	// An owned dataset flows through to normal handling (404: not yet
+	// onboarded — crucially not 421).
+	resp, _ := postJSON(t, ts, "/estimate", map[string]any{
+		"dataset": mine, "query": map[string]any{"tables": []int{0}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("owned dataset returned %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeShardProxyForwarding runs two live shards with peer URLs and
+// verifies a request carrying X-Shard-Key lands on the owner no matter
+// which shard fronts it — and that a forwarded request is never forwarded
+// again (loop guard).
+func TestServeShardProxyForwarding(t *testing.T) {
+	adv, _ := testAdvisor(t, 10)
+	// Listeners first: the peer URLs must exist before the sharders do.
+	ts0 := httptest.NewUnstartedServer(nil)
+	ts1 := httptest.NewUnstartedServer(nil)
+	peers := fmt.Sprintf("http://%s,http://%s", ts0.Listener.Addr(), ts1.Listener.Addr())
+	for i, ts := range []*httptest.Server{ts0, ts1} {
+		sh, err := newSharder(i, 2, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := ce.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.Config.Handler = newServerOpts(adv, store, serveOptions{Shard: sh})
+		ts.Start()
+		defer ts.Close()
+	}
+	sh0, _ := newSharder(0, 2, peers)
+
+	// A dataset owned by shard 1, onboarded through shard 0's front door.
+	d := serveDataset(t, 1, 210)
+	d.Name = ownedKey(t, sh0, 1)
+	client := func(ts *httptest.Server, path string, body map[string]any, hdr map[string]string) (*http.Response, []byte) {
+		t.Helper()
+		resp, data := postJSONHeaders(t, ts, path, body, hdr)
+		return resp, data
+	}
+	resp, data := client(ts0, "/datasets", datasetBody(d), map[string]string{"X-Shard-Key": d.Name})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded onboard returned %d: %s", resp.StatusCode, data)
+	}
+	// The tenant lives on shard 1: direct access there succeeds …
+	if resp, data := client(ts1, "/train", map[string]any{
+		"dataset": d.Name, "model": "Postgres", "queries": 30, "sample_rows": 80,
+	}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("train on owner returned %d: %s", resp.StatusCode, data)
+	}
+	// … and estimates route through either front door with the header.
+	q := rangeQueryBodies(d, 1)[0]
+	for _, front := range []*httptest.Server{ts0, ts1} {
+		resp, data := client(front, "/estimate", map[string]any{
+			"dataset": d.Name, "query": q}, map[string]string{"X-Shard-Key": d.Name})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate via front returned %d: %s", resp.StatusCode, data)
+		}
+	}
+	// Without the header, the non-owner answers 421 with the owner's URL.
+	resp, _ = client(ts0, "/estimate", map[string]any{"dataset": d.Name, "query": q}, nil)
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("headerless misdirected estimate returned %d", resp.StatusCode)
+	}
+	if peer := resp.Header.Get("X-Shard-Peer"); peer == "" {
+		t.Fatal("421 carries no X-Shard-Peer hint")
+	}
+	// Loop guard: a request already marked forwarded must not bounce
+	// between shards; it dead-ends in a 421.
+	resp, _ = client(ts0, "/estimate", map[string]any{"dataset": d.Name, "query": q},
+		map[string]string{"X-Shard-Key": d.Name, "X-Shard-Forwarded": "1"})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("forwarded-loop request returned %d, want 421", resp.StatusCode)
+	}
+}

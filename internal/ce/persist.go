@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/resilience"
 )
@@ -109,36 +110,61 @@ func LoadModel(r io.Reader) (Model, error) {
 // reload into an OOM.
 const maxArtifactPayload = 1 << 30
 
-// LoadModelSchema is LoadModel returning the artifact's recorded schema
-// fingerprint as well. Integrity failures — wrong magic, truncation, bit
-// flips — return an error matching ErrCorruptArtifact, always before the
-// gob decoder sees the payload.
-func LoadModelSchema(r io.Reader) (Model, string, error) {
+// readArtifact verifies the checksummed envelope and decodes the artifact
+// wrapper (name, schema, model blob) without touching the model's own gob
+// state — the cheap half of a load, shared by LoadModelSchema and
+// LoadModelInfo.
+func readArtifact(r io.Reader) (*artifact, error) {
 	header := make([]byte, len(artifactMagic)+12)
 	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, "", fmt.Errorf("%w: short header: %v", ErrCorruptArtifact, err)
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptArtifact, err)
 	}
 	if !bytes.Equal(header[:8], artifactMagic[:]) {
-		return nil, "", fmt.Errorf("%w: bad magic %q", ErrCorruptArtifact, header[:8])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptArtifact, header[:8])
 	}
 	size := binary.LittleEndian.Uint64(header[8:])
 	wantCRC := binary.LittleEndian.Uint32(header[16:])
 	if size > maxArtifactPayload {
-		return nil, "", fmt.Errorf("%w: declared payload size %d exceeds %d", ErrCorruptArtifact, size, maxArtifactPayload)
+		return nil, fmt.Errorf("%w: declared payload size %d exceeds %d", ErrCorruptArtifact, size, maxArtifactPayload)
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, "", fmt.Errorf("%w: truncated payload: %v", ErrCorruptArtifact, err)
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrCorruptArtifact, err)
 	}
 	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
-		return nil, "", fmt.Errorf("%w: checksum mismatch (recorded %08x, computed %08x)", ErrCorruptArtifact, wantCRC, got)
+		return nil, fmt.Errorf("%w: checksum mismatch (recorded %08x, computed %08x)", ErrCorruptArtifact, wantCRC, got)
 	}
 	var a artifact
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&a); err != nil {
 		// The checksum held, so the bytes are as written; a gob failure here
 		// is a format mismatch, not bit rot — still unusable, still corrupt
 		// from the caller's point of view.
-		return nil, "", fmt.Errorf("%w: undecodable payload: %v", ErrCorruptArtifact, err)
+		return nil, fmt.Errorf("%w: undecodable payload: %v", ErrCorruptArtifact, err)
+	}
+	return &a, nil
+}
+
+// LoadModelInfo reads only the artifact wrapper — registry name, schema
+// fingerprint, and the encoded model's blob size — verifying the envelope
+// but skipping the model's own (potentially expensive) gob decode. It is
+// the probe a paging model cache uses to register an artifact as
+// cold-loadable without actually loading it.
+func LoadModelInfo(r io.Reader) (name, schema string, blobBytes int64, err error) {
+	a, err := readArtifact(r)
+	if err != nil {
+		return "", "", 0, err
+	}
+	return a.Name, a.Schema, int64(len(a.Blob)), nil
+}
+
+// LoadModelSchema is LoadModel returning the artifact's recorded schema
+// fingerprint as well. Integrity failures — wrong magic, truncation, bit
+// flips — return an error matching ErrCorruptArtifact, always before the
+// gob decoder sees the payload.
+func LoadModelSchema(r io.Reader) (Model, string, error) {
+	a, err := readArtifact(r)
+	if err != nil {
+		return nil, "", err
 	}
 	spec, ok := Lookup(a.Name)
 	if !ok {
@@ -166,6 +192,38 @@ func LoadModelSchema(r io.Reader) (Model, string, error) {
 // fleet reload.
 type Store struct {
 	dir string
+
+	// Load/save accounting, exposed via Stats: a paging model cache sits on
+	// top of the store, and its ops surface (cold loads, write-backs) needs
+	// to see how much artifact I/O the paging policy is actually causing.
+	saves      atomic.Int64
+	saveBytes  atomic.Int64
+	loads      atomic.Int64
+	loadBytes  atomic.Int64
+	loadErrors atomic.Int64
+	corrupt    atomic.Int64
+}
+
+// StoreStats is a snapshot of a Store's I/O counters since construction.
+type StoreStats struct {
+	Saves      int64 // successful artifact writes
+	SaveBytes  int64 // bytes durably renamed into place
+	Loads      int64 // successful artifact reads (cold loads included)
+	LoadBytes  int64 // bytes read by successful loads
+	LoadErrors int64 // failed loads, corrupt or otherwise
+	Corrupt    int64 // loads that quarantined a corrupt artifact
+}
+
+// Stats returns the store's cumulative I/O counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Saves:      s.saves.Load(),
+		SaveBytes:  s.saveBytes.Load(),
+		Loads:      s.loads.Load(),
+		LoadBytes:  s.loadBytes.Load(),
+		LoadErrors: s.loadErrors.Load(),
+		Corrupt:    s.corrupt.Load(),
+	}
 }
 
 // NewStore opens (creating if needed) an artifact directory.
@@ -227,7 +285,35 @@ func (s *Store) Save(datasetName, schema string, m Model) (string, error) {
 	if err := os.Rename(tmp.Name(), dst); err != nil {
 		return "", fmt.Errorf("ce: store save: %w", err)
 	}
+	s.saves.Add(1)
+	if fi, err := os.Stat(dst); err == nil {
+		s.saveBytes.Add(fi.Size())
+	}
 	return dst, nil
+}
+
+// Info probes the artifact saved for (datasetName, modelName) without
+// decoding the model: it verifies the envelope and returns the schema
+// fingerprint recorded at save time plus the artifact's size on disk. A
+// model cache uses it to register an artifact as cold-loadable (and to
+// cost it against a memory budget) while deferring the expensive decode
+// to the first estimate that needs the model.
+func (s *Store) Info(datasetName, modelName string) (schema string, size int64, err error) {
+	path := s.path(datasetName, modelName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", 0, fmt.Errorf("ce: store info: %w", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, fmt.Errorf("ce: store info: %w", err)
+	}
+	defer f.Close()
+	_, schema, _, err = LoadModelInfo(f)
+	if err != nil {
+		return "", 0, fmt.Errorf("ce: store info: %w", err)
+	}
+	return schema, fi.Size(), nil
 }
 
 // Load reads the artifact saved for (datasetName, modelName), returning
@@ -238,16 +324,20 @@ func (s *Store) Save(datasetName, schema string, m Model) (string, error) {
 // "ce.store.load" injects a read failure.
 func (s *Store) Load(datasetName, modelName string) (Model, string, error) {
 	if err := resilience.Failpoint("ce.store.load"); err != nil {
+		s.loadErrors.Add(1)
 		return nil, "", fmt.Errorf("ce: store load: %w", err)
 	}
 	path := s.path(datasetName, modelName)
 	f, err := os.Open(path)
 	if err != nil {
+		s.loadErrors.Add(1)
 		return nil, "", fmt.Errorf("ce: store load: %w", err)
 	}
 	m, schema, err := LoadModelSchema(f)
 	f.Close()
 	if errors.Is(err, ErrCorruptArtifact) {
+		s.loadErrors.Add(1)
+		s.corrupt.Add(1)
 		// Quarantine best-effort: losing the rename race (or a read-only
 		// filesystem) must not mask the corruption error itself.
 		if renameErr := os.Rename(path, path+corruptExt); renameErr == nil {
@@ -256,7 +346,12 @@ func (s *Store) Load(datasetName, modelName string) (Model, string, error) {
 		return nil, "", fmt.Errorf("ce: store load: %w", err)
 	}
 	if err != nil {
+		s.loadErrors.Add(1)
 		return nil, "", fmt.Errorf("ce: store load: %w", err)
+	}
+	s.loads.Add(1)
+	if fi, statErr := os.Stat(path); statErr == nil {
+		s.loadBytes.Add(fi.Size())
 	}
 	return m, schema, nil
 }
@@ -265,6 +360,7 @@ func (s *Store) Load(datasetName, modelName string) (Model, string, error) {
 type Entry struct {
 	Dataset, Model string
 	Path           string
+	Size           int64 // artifact bytes on disk (0 if stat raced a removal)
 }
 
 // List enumerates the store's artifacts. Quarantined (.corrupt) files and
@@ -297,8 +393,12 @@ func (s *Store) List() ([]Entry, error) {
 			if err != nil {
 				continue
 			}
+			var size int64
+			if fi, err := f.Info(); err == nil {
+				size = fi.Size()
+			}
 			out = append(out, Entry{Dataset: ds, Model: mn,
-				Path: filepath.Join(s.dir, d.Name(), name)})
+				Path: filepath.Join(s.dir, d.Name(), name), Size: size})
 		}
 	}
 	return out, nil

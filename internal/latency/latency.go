@@ -1,0 +1,190 @@
+// Package latency provides an HDR-style latency histogram: fixed-size,
+// allocation-free recording with bounded relative error, built for
+// benchmark and load-harness tail reporting (p50/p99) where a sorted
+// sample buffer would either truncate the tail or grow without bound.
+//
+// The bucket layout is logarithmic-with-linear-fill: values below 2^5
+// are exact; above that, each power of two splits into 32 linear
+// sub-buckets, so any recorded value lands in a bucket whose width is at
+// most 1/32 of its magnitude (≈3% relative error) — constant memory
+// (~15 KiB) regardless of range or volume, up to the full uint64 span.
+//
+// A Histogram is not safe for concurrent use; concurrent recorders each
+// own one and Merge them afterwards, which keeps the hot path at a
+// single array increment and makes aggregated quantiles deterministic
+// regardless of interleaving.
+package latency
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// subBits fixes the precision: 2^subBits linear sub-buckets per power of
+// two.
+const (
+	subBits    = 5
+	subCount   = 1 << subBits // 32
+	numBuckets = (64-subBits)*subCount + subCount
+)
+
+// Histogram records durations (as non-negative nanosecond counts) into
+// log-linear buckets. The zero value is ready to use.
+type Histogram struct {
+	counts [numBuckets]uint64
+	total  uint64
+	max    uint64
+}
+
+// bucketOf maps v to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= subBits
+	sub := (v >> uint(exp-subBits)) & (subCount - 1)
+	return (exp-subBits+1)*subCount + int(sub)
+}
+
+// bucketHigh returns the largest value mapping to bucket idx — the
+// conservative (upper-bound) representative used for quantiles.
+func bucketHigh(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	major := idx / subCount // >= 1
+	sub := uint64(idx % subCount)
+	exp := uint(major + subBits - 1)
+	lo := uint64(1)<<exp + sub<<(exp-subBits)
+	return lo + uint64(1)<<(exp-subBits) - 1
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Merge folds o into h; o is unchanged. Quantiles of the merged
+// histogram equal those of recording both streams into one histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]) of
+// the recorded values, within one bucket width (≤ ~3% above the true
+// value). q <= 0 is the minimum bucket, q >= 1 the maximum. An empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketHigh(i)
+			if v > h.max {
+				// The top occupied bucket's upper bound can exceed the
+				// true maximum; the exact max is tighter.
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Sparse renders the occupied buckets as "idx:count" pairs joined with
+// commas, in index order — the compact wire form for benchmark output
+// (HIST lines) that ParseSparse round-trips.
+func (h *Histogram) Sparse() string {
+	var b strings.Builder
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", i, c)
+	}
+	return b.String()
+}
+
+// ParseSparse rebuilds a histogram from Sparse output. The exact max is
+// not carried on the wire, so Max (and top-bucket quantiles) degrade to
+// the occupied bucket's upper bound.
+func ParseSparse(s string) (*Histogram, error) {
+	h := &Histogram{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return h, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		idxs, counts, ok := strings.Cut(pair, ":")
+		if !ok {
+			return nil, fmt.Errorf("latency: malformed bucket %q", pair)
+		}
+		idx, err := strconv.Atoi(idxs)
+		if err != nil || idx < 0 || idx >= numBuckets {
+			return nil, fmt.Errorf("latency: bucket index %q out of range", idxs)
+		}
+		c, err := strconv.ParseUint(counts, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("latency: bucket count %q: %v", counts, err)
+		}
+		h.counts[idx] += c
+		h.total += c
+		if c > 0 {
+			if hi := bucketHigh(idx); hi > h.max {
+				h.max = hi
+			}
+		}
+	}
+	return h, nil
+}
+
+// Summary formats the standard report line: count, p50, p90, p99, max.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v max=%v",
+		h.total, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+}
+
+// Quantiles evaluates several quantiles, index-aligned with qs.
+func (h *Histogram) Quantiles(qs ...float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value maps into a bucket whose [low, high] range contains it,
+	// with width <= value/32 above the exact region.
+	vals := []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<20 + 12345, 1 << 40, 1<<63 + 17}
+	for _, v := range vals {
+		idx := bucketOf(v)
+		hi := bucketHigh(idx)
+		if hi < v {
+			t.Fatalf("value %d: bucket %d high %d below value", v, idx, hi)
+		}
+		if idx+1 < numBuckets {
+			// v must not belong to a later bucket.
+			if bucketHigh(idx) >= bucketHigh(idx+1) {
+				t.Fatalf("bucket highs not increasing at %d", idx)
+			}
+		}
+		if v >= 64 && float64(hi-v) > float64(v)/32 {
+			t.Fatalf("value %d: bucket error %d exceeds v/32", v, hi-v)
+		}
+	}
+	// Bucket highs are globally monotone: the quantile walk depends on it.
+	prev := uint64(0)
+	for i := 1; i < numBuckets; i++ {
+		if h := bucketHigh(i); h <= prev {
+			t.Fatalf("bucketHigh(%d)=%d not above %d", i, h, prev)
+		} else {
+			prev = h
+		}
+	}
+}
+
+func TestQuantileAgainstExactSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	sample := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~[1us, 100ms]: a latency-shaped distribution.
+		v := time.Duration(1000 * math.Exp(rng.Float64()*11.5))
+		h.Record(v)
+		sample = append(sample, float64(v))
+	}
+	sort.Float64s(sample)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := sample[int(q*float64(len(sample)))-1]
+		got := float64(h.Quantile(q))
+		// Upper bound within one bucket (~3.2%), allowing for the rank
+		// convention differing by one sample.
+		if got < exact*0.97 || got > exact*1.07 {
+			t.Fatalf("q%v: histogram %v vs exact %v", q, got, exact)
+		}
+	}
+	if h.Count() != 20000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q1 %v != max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestMergeEqualsCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both Histogram
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(1_000_000_000))
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() {
+		t.Fatalf("merge count/max (%d, %v) vs (%d, %v)", a.Count(), a.Max(), both.Count(), both.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q%v: merged %v vs combined %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{0, time.Microsecond, time.Millisecond, time.Millisecond, 3 * time.Second} {
+		h.Record(d)
+	}
+	got, err := ParseSparse(h.Sparse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() {
+		t.Fatalf("round-trip count %d vs %d", got.Count(), h.Count())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.99} {
+		// Wire form loses the exact max, but bucket-resolution quantiles
+		// must survive exactly for non-top buckets.
+		if a, b := got.Quantile(q), h.Quantile(q); a < b || float64(a) > float64(b)*1.04 {
+			t.Fatalf("q%v drifted across the wire: %v vs %v", q, a, b)
+		}
+	}
+	if _, err := ParseSparse("12:3,oops"); err == nil {
+		t.Fatal("malformed sparse accepted")
+	}
+	if _, err := ParseSparse("999999:1"); err == nil {
+		t.Fatal("out-of-range bucket accepted")
+	}
+	if empty, err := ParseSparse(""); err != nil || empty.Count() != 0 {
+		t.Fatalf("empty sparse: (%v, %v)", empty, err)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	if h.Sparse() != "" {
+		t.Fatalf("empty sparse %q", h.Sparse())
+	}
+	h.Record(-time.Second) // clamps, must not panic
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Fatal("negative record mishandled")
+	}
+}

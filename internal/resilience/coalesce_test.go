@@ -1,0 +1,278 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitPending blocks until key's pending batch holds want items — the
+// in-package synchronization hook that makes merge tests deterministic.
+func waitPending[T, R any](t *testing.T, c *Coalescer[T, R], key string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.mu.Lock()
+		n := 0
+		if ks := c.keys[key]; ks != nil && ks.pending != nil {
+			n = len(ks.pending.items)
+		}
+		c.mu.Unlock()
+		if n >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending batch never reached %d items (at %d)", want, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescerIdleKeyRunsImmediately pins the no-added-latency property:
+// with nothing in flight, a caller's items run alone, untouched.
+func TestCoalescerIdleKeyRunsImmediately(t *testing.T) {
+	var c Coalescer[int, int]
+	var got []int
+	out, err := c.Do("k", []int{3, 4}, func(items []int) ([]int, error) {
+		got = append([]int(nil), items...)
+		res := make([]int, len(items))
+		for i, v := range items {
+			res[i] = v * 10
+		}
+		return res, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("run saw %v, want the caller's items alone", got)
+	}
+	if len(out) != 2 || out[0] != 30 || out[1] != 40 {
+		t.Fatalf("results %v", out)
+	}
+}
+
+// TestCoalescerMergesUnderContention holds one execution in flight and
+// verifies that the callers arriving meanwhile are merged into a single
+// batched execution whose per-caller slices line up with their items.
+func TestCoalescerMergesUnderContention(t *testing.T) {
+	var c Coalescer[int, int]
+	blockFirst := make(chan struct{})
+	firstRunning := make(chan struct{})
+	var executions atomic.Int64
+	run := func(items []int) ([]int, error) {
+		executions.Add(1)
+		res := make([]int, len(items))
+		for i, v := range items {
+			res[i] = v + 1000
+		}
+		return res, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Do("k", []int{0}, func(items []int) ([]int, error) {
+			close(firstRunning)
+			<-blockFirst
+			return run(items)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-firstRunning
+
+	// These all arrive while the first execution is blocked in flight: they
+	// must merge into one follow-up batch.
+	const followers = 8
+	results := make([][]int, followers)
+	errs := make([]error, followers)
+	var fwg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			results[i], errs[i] = c.Do("k", []int{i, i + 100}, run)
+		}(i)
+	}
+	// Every follower must have joined the pending batch before the blocked
+	// execution is released, so the merge is forced, not probabilistic.
+	waitPending(t, &c, "k", followers*2)
+	close(blockFirst)
+	fwg.Wait()
+	wg.Wait()
+
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("follower %d: %v", i, errs[i])
+		}
+		want := []int{i + 1000, i + 100 + 1000}
+		if len(results[i]) != 2 || results[i][0] != want[0] || results[i][1] != want[1] {
+			t.Fatalf("follower %d got %v, want %v", i, results[i], want)
+		}
+	}
+	// Exactly 1 (blocked leader) + 1 (all followers merged): the forced
+	// join means every follower rode one batch.
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("%d executions for %d callers; want exactly 2", n, followers+1)
+	}
+}
+
+// TestCoalescerErrorReachesAllMembers verifies a failed batch delivers the
+// same error to every member, and that the key resets afterwards.
+func TestCoalescerErrorReachesAllMembers(t *testing.T) {
+	var c Coalescer[int, int]
+	boom := errors.New("boom")
+	blockFirst := make(chan struct{})
+	firstRunning := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, leaderErr = c.Do("k", []int{1}, func(items []int) ([]int, error) {
+			close(firstRunning)
+			<-blockFirst
+			return nil, boom
+		})
+	}()
+	<-firstRunning
+
+	var followerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, followerErr = c.Do("k", []int{2}, func(items []int) ([]int, error) {
+			return nil, boom
+		})
+	}()
+	waitPending(t, &c, "k", 1)
+	close(blockFirst)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, boom) || !errors.Is(followerErr, boom) {
+		t.Fatalf("errors = (%v, %v), want boom for both", leaderErr, followerErr)
+	}
+	// The key must be clean: the next call runs immediately and succeeds.
+	out, err := c.Do("k", []int{7}, func(items []int) ([]int, error) {
+		return []int{len(items)}, nil
+	})
+	if err != nil || len(out) != 1 || out[0] != 1 {
+		t.Fatalf("post-error call = (%v, %v)", out, err)
+	}
+}
+
+// TestCoalescerPanicBecomesPanicError pins the panic fence: a run that
+// panics must not strand waiters or wedge the key.
+func TestCoalescerPanicBecomesPanicError(t *testing.T) {
+	var c Coalescer[int, int]
+	_, err := c.Do("k", []int{1}, func(items []int) ([]int, error) {
+		panic("kaboom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if out, err := c.Do("k", []int{1}, func(items []int) ([]int, error) {
+		return []int{9}, nil
+	}); err != nil || out[0] != 9 {
+		t.Fatalf("key wedged after panic: (%v, %v)", out, err)
+	}
+}
+
+// TestCoalescerResultCountMismatch pins the defensive check on run's
+// contract.
+func TestCoalescerResultCountMismatch(t *testing.T) {
+	var c Coalescer[int, int]
+	_, err := c.Do("k", []int{1, 2}, func(items []int) ([]int, error) {
+		return []int{1}, nil
+	})
+	if err == nil {
+		t.Fatal("short result slice was not rejected")
+	}
+}
+
+// TestCoalescerKeysAreIndependent verifies executions on different keys
+// never merge or block each other.
+func TestCoalescerKeysAreIndependent(t *testing.T) {
+	var c Coalescer[int, string]
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			out, err := c.Do(key, []int{i}, func(items []int) ([]string, error) {
+				res := make([]string, len(items))
+				for j, v := range items {
+					res[j] = fmt.Sprintf("%s:%d", key, v)
+				}
+				return res, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, s := range out {
+				if s != fmt.Sprintf("%s:%d", key, i) {
+					t.Errorf("cross-key contamination: %q for key %q item %d", s, key, i)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestCoalescerMaxBatchOverflowRunsSolo verifies the overflow escape
+// hatch: items that would blow past MaxBatch execute alone rather than
+// growing the pending batch without bound.
+func TestCoalescerMaxBatchOverflowRunsSolo(t *testing.T) {
+	c := Coalescer[int, int]{MaxBatch: 2}
+	blockFirst := make(chan struct{})
+	firstRunning := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do("k", []int{0}, func(items []int) ([]int, error) {
+			close(firstRunning)
+			<-blockFirst
+			return make([]int, len(items)), nil
+		})
+	}()
+	<-firstRunning
+
+	// First joiner fills the pending batch to MaxBatch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do("k", []int{1, 2}, func(items []int) ([]int, error) {
+			return make([]int, len(items)), nil
+		})
+	}()
+	waitPending(t, &c, "k", 2)
+
+	// This overflow caller must complete even though the in-flight batch is
+	// still blocked — proof it ran solo instead of joining.
+	soloDone := make(chan struct{})
+	go func() {
+		defer close(soloDone)
+		var ran atomic.Bool
+		out, err := c.Do("k", []int{3}, func(items []int) ([]int, error) {
+			ran.Store(true)
+			return make([]int, len(items)), nil
+		})
+		if err != nil || len(out) != 1 || !ran.Load() {
+			t.Errorf("overflow solo run = (%v, %v, ran=%v)", out, err, ran.Load())
+		}
+	}()
+	<-soloDone
+	close(blockFirst)
+	wg.Wait()
+}
