@@ -466,6 +466,7 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		name = "adapted"
 	}
 	s.adv.OnlineAdapt(&core.Sample{Name: name, Graph: g, Sa: req.Sa, Se: req.Se}, epochs)
+	//autoce:ignore snapshotonce -- deliberate re-load: OnlineAdapt republishes, and the response must describe the post-adapt snapshot
 	adapted := s.adv.Serving()
 	writeJSON(w, http.StatusOK, adaptResponse{
 		RCSSize:        len(adapted.RCS()),

@@ -293,7 +293,11 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "extracting features: "+err.Error())
 		return
 	}
-	if inDim := s.adv.Serving().InDim(); len(g.V) > 0 && len(g.V[0]) != inDim {
+	// One snapshot for the whole request: a concurrent republish between
+	// the dimension check and the response would otherwise validate against
+	// one encoder and report another's dimension.
+	serving := s.adv.Serving()
+	if inDim := serving.InDim(); len(g.V) > 0 && len(g.V[0]) != inDim {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf(
 			"dataset features have dimension %d, advisor's encoder expects %d", len(g.V[0]), inDim))
 		return
@@ -368,7 +372,7 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 	writeJSON(w, http.StatusOK, datasetResponse{
 		Dataset: d.Name, Tables: d.NumTables(), Rows: d.TotalRows(),
-		VertexDim: s.adv.Serving().InDim(), StoredModels: stored,
+		VertexDim: serving.InDim(), StoredModels: stored,
 	})
 }
 

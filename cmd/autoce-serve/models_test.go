@@ -58,6 +58,34 @@ func serveDataset(t testing.TB, tables int, seed int64) *dataset.Dataset {
 	return d
 }
 
+// TestOnboardReportsValidatedEncoderDim is the regression for the
+// snapshotonce finding autoce-vet raised in handleDatasets: the handler
+// loaded the advisor snapshot twice — once to validate the dataset's
+// feature dimension, once to report VertexDim — so a republish between
+// the two loads could validate against one encoder and report another's
+// dimension. The handler now takes a single snapshot, and the reported
+// VertexDim must be the dimension onboarding was validated against.
+// (Reintroducing the second load also fails the analyzer driver test in
+// internal/analysis.)
+func TestOnboardReportsValidatedEncoderDim(t *testing.T) {
+	adv, _ := testAdvisor(t, 14)
+	ts := httptest.NewServer(newServer(adv, nil))
+	defer ts.Close()
+	d := serveDataset(t, 2, 33)
+
+	resp, data := postJSON(t, ts, "/datasets", datasetBody(d))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/datasets returned %d: %s", resp.StatusCode, data)
+	}
+	var dr datasetResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if want := adv.Serving().InDim(); dr.VertexDim != want {
+		t.Fatalf("onboard reported VertexDim %d, validated against %d", dr.VertexDim, want)
+	}
+}
+
 // TestServeLifecycleEndToEnd drives the full loop the redesign closes:
 // onboard a dataset, recommend by dataset name, train the recommended
 // model, estimate single and batch, and verify artifact persistence plus

@@ -1,0 +1,105 @@
+// Command autoce-vet runs the project-invariant analyzer suite of
+// internal/analysis over the module: the concurrency, determinism, and
+// lifecycle rules the serving stack documents and race-tests but cannot
+// enforce at compile time. It is stdlib-only (go/parser, go/types,
+// go/importer resolving the standard library from GOROOT source), so it
+// adds no dependency and runs anywhere the toolchain does.
+//
+// Usage:
+//
+//	autoce-vet [-rules name,name] [-list] [dir]
+//
+// dir defaults to the current directory; the module containing it is
+// loaded whole (the conventional `autoce-vet ./...` spelling is accepted
+// and means the same thing — the rules are module-scoped, so there is
+// nothing smaller to analyze). Findings print as
+//
+//	file:line: [rule] message
+//
+// and any finding exits 1. Suppress an intentional, understood violation
+// with a trailing or preceding-line comment:
+//
+//	//autoce:ignore rule[,rule...] -- reason
+//
+// See the internal/analysis package documentation for the rule set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("autoce-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered rules and exit")
+	ruleNames := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, r := range analysis.Rules() {
+			fmt.Fprintf(stdout, "%-14s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		// "./..." and friends address the whole module; strip the pattern
+		// suffix down to its directory.
+		dir = strings.TrimSuffix(fs.Arg(0), "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+	default:
+		fmt.Fprintln(stderr, "autoce-vet: at most one directory argument (the module is analyzed whole)")
+		return 2
+	}
+
+	var rules []*analysis.Rule
+	if *ruleNames != "" {
+		for _, name := range strings.Split(*ruleNames, ",") {
+			name = strings.TrimSpace(name)
+			r := analysis.RuleByName(name)
+			if r == nil {
+				fmt.Fprintf(stderr, "autoce-vet: unknown rule %q (see -list)\n", name)
+				return 2
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	mod, err := analysis.Load(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "autoce-vet: %v\n", err)
+		return 2
+	}
+	findings := analysis.RunRules(mod, rules)
+	for _, f := range findings {
+		// Report module-relative paths: stable across checkouts and what
+		// CI annotations expect.
+		pos := f.Pos
+		if rel, rerr := filepath.Rel(mod.Root, pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", pos.Filename, pos.Line, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "autoce-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

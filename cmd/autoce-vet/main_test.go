@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the driver with stdout/stderr tees into temp files and
+// returns the exit code plus both streams.
+func capture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF, err := os.CreateTemp(t.TempDir(), "err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, outF, errF)
+	outB, _ := os.ReadFile(outF.Name())
+	errB, _ := os.ReadFile(errF.Name())
+	return code, string(outB), string(errB)
+}
+
+// TestVetExitsZeroOnRepo is the acceptance gate: the full rule suite over
+// the whole module (spelled `./...`, as CI invokes it) reports nothing.
+func TestVetExitsZeroOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against GOROOT source")
+	}
+	code, out, errOut := capture(t, filepath.Join("..", "..")+"/...")
+	if code != 0 {
+		t.Fatalf("autoce-vet exited %d on the repo\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if out != "" {
+		t.Fatalf("exit 0 but findings printed:\n%s", out)
+	}
+}
+
+// TestListPrintsRuleSet pins the -list surface README links to.
+func TestListPrintsRuleSet(t *testing.T) {
+	code, out, _ := capture(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"snapshotonce", "pinpair", "detpath", "ctxloop", "failpointlit"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list output lacks %s:\n%s", rule, out)
+		}
+	}
+}
+
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	code, _, errOut := capture(t, "-rules", "nosuchrule", filepath.Join("..", ".."))
+	if code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown rule") {
+		t.Fatalf("stderr lacks diagnosis: %s", errOut)
+	}
+}
+
+// TestFindingsExitOne drives the driver against a seeded-violation
+// testdata module: findings must print in file:line: [rule] message form
+// and flip the exit code to 1.
+func TestFindingsExitOne(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "analysis", "testdata", "ctxloop")
+	code, out, errOut := capture(t, "-rules", "ctxloop", dir)
+	if code != 1 {
+		t.Fatalf("seeded module exited %d, want 1\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "loop.go:") || !strings.Contains(out, "[ctxloop]") {
+		t.Fatalf("findings not in file:line: [rule] message form:\n%s", out)
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Rule is one project-invariant analyzer. Run is called once per package
+// and returns its findings (suppression filtering happens in the driver).
+type Rule struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Finding
+}
+
+// Pass hands a rule one type-checked package plus the module-wide view
+// for cross-package facts (snapshot accessors, the failpoint registry).
+type Pass struct {
+	Module *Module
+	Pkg    *Package
+}
+
+// Position resolves a token.Pos against the module's FileSet.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Module.Fset.Position(pos)
+}
+
+// Findingf appends a finding at pos.
+func (p *Pass) finding(pos token.Pos, rule, format string, args ...any) Finding {
+	return Finding{Pos: p.Position(pos), Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+var rules []*Rule
+
+// register adds a rule to the suite; rule files call it from init.
+func register(r *Rule) { rules = append(rules, r) }
+
+// Rules returns the registered rule set sorted by name.
+func Rules() []*Rule {
+	out := make([]*Rule, len(rules))
+	copy(out, rules)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RuleByName returns the named rule, or nil.
+func RuleByName(name string) *Rule {
+	for _, r := range rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// RunRules runs the given rules (nil = all registered) over every package
+// in the module, drops suppressed findings, appends malformed-suppression
+// findings, and returns the remainder sorted by position.
+func RunRules(m *Module, rs []*Rule) []Finding {
+	if rs == nil {
+		rs = Rules()
+	}
+	var out []Finding
+	for _, pkg := range m.Pkgs {
+		pass := &Pass{Module: m, Pkg: pkg}
+		sup := collectSuppressions(m.Fset, pkg)
+		for _, r := range rs {
+			for _, f := range r.Run(pass) {
+				if !sup.covers(f) {
+					out = append(out, f)
+				}
+			}
+		}
+		out = append(out, sup.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// ---------------------------------------------------------------- helpers
+
+// funcScopes yields every function body in the file as an independent
+// analysis scope: each FuncDecl, and each FuncLit (closures capture state
+// but take snapshots on their own schedule, so they are scoped apart).
+func funcScopes(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, fn.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, fn.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals — for per-function-scope analyses.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// exprKey renders a stable identity for a chain of selectors rooted at an
+// identifier ("s.adv", "h.snap"). Expressions with calls, indexes, or
+// other computation get no key (ok=false): two such loads may legitimately
+// resolve different objects.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		base, ok := exprKey(e.X)
+		return "*" + base, ok
+	}
+	return "", false
+}
+
+// namedOf unwraps pointers and aliases down to a *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgType reports whether t (possibly behind pointers) is the named type
+// pkgPath.name — e.g. ("sync/atomic", "Pointer").
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// relPath strips the module path prefix from an import path ("repro/internal/nn"
+// -> "internal/nn"); the module root package maps to ".".
+func (m *Module) relPath(importPath string) string {
+	if importPath == m.Path {
+		return "."
+	}
+	return strings.TrimPrefix(importPath, m.Path+"/")
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxloop: the cooperative-cancellation contract. Every endpoint runs
+// under a deadline, and an abandoned request's work must actually stop —
+// the train single-flight slot, for one, is held until the trainer
+// reaches a checkpoint. A function that accepts a context.Context and
+// then spins a while-shaped loop (`for {` or `for cond {`) without ever
+// consulting the context inside the loop can outlive its deadline
+// unboundedly. Bounded three-clause and range loops are not flagged (they
+// finish on their own); the checkpoint can be any use of the context in
+// the loop body — ctx.Err(), a select on ctx.Done(), passing ctx to a
+// callee, or a Canceled() helper.
+func init() {
+	register(&Rule{
+		Name: "ctxloop",
+		Doc:  "while-shaped loops in context-taking functions must check the context",
+		Run:  runCtxLoop,
+	})
+}
+
+func runCtxLoop(pass *Pass) []Finding {
+	info := pass.Pkg.Info
+	var out []Finding
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				typ, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ctxObjs := contextParams(info, typ)
+			if len(ctxObjs) == 0 {
+				return true
+			}
+			inspectShallow(body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				// While-shaped only: `for {` and `for cond {`. Three-clause
+				// loops advance toward a bound.
+				if loop.Init != nil || loop.Post != nil {
+					return true
+				}
+				if loopChecksContext(info, loop, ctxObjs) {
+					return true
+				}
+				out = append(out, pass.finding(loop.Pos(), "ctxloop",
+					"unbounded loop in a context-taking function never checks the context; add a ctx.Err()/Canceled() checkpoint so an abandoned request can stop"))
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// contextParams returns the objects of every context.Context parameter.
+func contextParams(info *types.Info, typ *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if typ.Params == nil {
+		return out
+	}
+	for _, field := range typ.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isPkgType(tv.Type, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// loopChecksContext reports whether the loop (condition or body, nested
+// closures included — a select on ctx.Done reads the context wherever it
+// syntactically sits) references a context parameter or calls something
+// named Canceled.
+func loopChecksContext(info *types.Info, loop *ast.ForStmt, ctxObjs map[types.Object]bool) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if ctxObjs[objectOf(info, n)] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Canceled" {
+				found = true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "Canceled" {
+				found = true
+			}
+		}
+		return !found
+	}
+	if loop.Cond != nil {
+		ast.Inspect(loop.Cond, check)
+	}
+	ast.Inspect(loop.Body, check)
+	return found
+}

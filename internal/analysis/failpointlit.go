@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// failpointlit: failpoint names are an operator interface. The
+// AUTOCE_FAILPOINTS env var arms sites by exact string, so a site whose
+// name is computed at runtime, duplicated, or absent from the documented
+// registry silently breaks fault-injection runs — the soak harness arms
+// a name and nothing fires. The rule checks, module-wide:
+//
+//   - every resilience.Failpoint(...) call passes a constant string;
+//   - that constant appears in resilience.FailpointSites (the documented
+//     site list);
+//   - no two call sites share a name (a probability spec must target one
+//     site, not several);
+//   - every documented site has a call site (no stale registry entries).
+//
+// Test files are outside the loader's view, so tests may arm and hit any
+// name freely.
+func init() {
+	register(&Rule{
+		Name: "failpointlit",
+		Doc:  "resilience.Failpoint sites must be unique literals from FailpointSites",
+		Run:  runFailpointLit,
+	})
+}
+
+// failpointFacts is the module-wide view the per-package passes share.
+type failpointFacts struct {
+	sites    map[string]bool // documented names from FailpointSites
+	sitesPos map[string]ast.Node
+	declPkg  string // package path declaring FailpointSites
+	// used maps names to their first call site, for duplicate detection
+	// in a deterministic single sweep (packages visit in sorted order).
+	used map[string]string // name -> "pkgpath:file:line" of first use
+}
+
+func runFailpointLit(pass *Pass) []Finding {
+	facts := pass.Module.failpointFacts()
+	if facts == nil {
+		return nil // no resilience package in this module: nothing to check
+	}
+	var out []Finding
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFailpointCall(info, call) {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				out = append(out, pass.finding(call.Pos(), "failpointlit",
+					"failpoint name must be a constant string literal so AUTOCE_FAILPOINTS specs can target it"))
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !facts.sites[name] {
+				out = append(out, pass.finding(call.Pos(), "failpointlit",
+					"failpoint %q is not in resilience.FailpointSites; add it to the documented site list", name))
+			}
+			key := pass.Pkg.Path + ":" + pass.Position(call.Pos()).String()
+			if first, dup := facts.used[name]; dup && first != key {
+				out = append(out, pass.finding(call.Pos(), "failpointlit",
+					"failpoint %q is already compiled in at %s; site names must be unique", name, first))
+			} else {
+				facts.used[name] = key
+			}
+			return true
+		})
+	}
+	// The package declaring FailpointSites also checks for stale entries —
+	// after every package has contributed its uses. RunRules visits
+	// packages in sorted order; defer the staleness sweep to the driver by
+	// doing it when this pass IS the declaring package and it sorts last…
+	// simpler and robust: recompute uses module-wide right here when this
+	// is the declaring package.
+	if pass.Pkg.Path == facts.declPkg {
+		out = append(out, staleSites(pass, facts)...)
+	}
+	return out
+}
+
+// staleSites reports documented names with no call site anywhere in the
+// module (independent of package visit order: it sweeps all packages).
+func staleSites(pass *Pass, facts *failpointFacts) []Finding {
+	usedAnywhere := map[string]bool{}
+	for _, pkg := range pass.Module.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isFailpointCall(pkg.Info, call) || len(call.Args) != 1 {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					usedAnywhere[constant.StringVal(tv.Value)] = true
+				}
+				return true
+			})
+		}
+	}
+	var out []Finding
+	for _, name := range sortedKeys(facts.sites) {
+		if !usedAnywhere[name] {
+			out = append(out, pass.finding(facts.sitesPos[name].Pos(), "failpointlit",
+				"documented failpoint %q has no call site; remove it from FailpointSites or restore the site", name))
+		}
+	}
+	return out
+}
+
+// isFailpointCall matches resilience.Failpoint(...) — a call to a
+// function named Failpoint declared in a package named "resilience".
+func isFailpointCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Failpoint" {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "resilience"
+}
+
+// failpointFacts locates the FailpointSites declaration module-wide and
+// extracts the documented names. Cached per module.
+func (m *Module) failpointFacts() *failpointFacts {
+	if m.fpFacts != nil || m.fpFactsDone {
+		return m.fpFacts
+	}
+	m.fpFactsDone = true
+	for _, pkg := range m.Pkgs {
+		if pkg.Types.Name() != "resilience" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "FailpointSites" || len(vs.Values) != 1 {
+						continue
+					}
+					lit, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					facts := &failpointFacts{
+						sites:    map[string]bool{},
+						sitesPos: map[string]ast.Node{},
+						declPkg:  pkg.Path,
+						used:     map[string]string{},
+					}
+					for _, elt := range lit.Elts {
+						if tv, ok := pkg.Info.Types[elt]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+							facts.sites[constant.StringVal(tv.Value)] = true
+							facts.sitesPos[constant.StringVal(tv.Value)] = elt
+						}
+					}
+					m.fpFacts = facts
+					return facts
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

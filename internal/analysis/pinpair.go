@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pinpair: every model-cache acquire must reach a release on every path.
+// An acquire pins its servedModel against eviction; a return path that
+// skips release leaks the pin, and a leaked pin wedges eviction for the
+// process lifetime — the cache can never page that model out, and once
+// enough pins leak the budget is a fiction. The analyzer recognizes the
+// project convention: a call to a method named "acquire" whose results
+// include an error, paired with calls (or defers) of a method named
+// "release". The error-check branch directly guarding the acquire
+// (`if err != nil { return ... }`) is the unpinned failure path and is
+// exempt.
+//
+// The path walk is syntactic and conservative: a release inside one arm
+// of a branch does not count for the code after the branch unless every
+// non-terminating arm released. `defer release` right after the error
+// check is the idiom that always passes.
+func init() {
+	register(&Rule{
+		Name: "pinpair",
+		Doc:  "an acquire'd cache handle must reach release on every return path",
+		Run:  runPinPair,
+	})
+}
+
+func runPinPair(pass *Pass) []Finding {
+	var out []Finding
+	for _, f := range pass.Pkg.Files {
+		for _, body := range funcScopes(f) {
+			out = append(out, checkPinPairs(pass, body)...)
+		}
+	}
+	return out
+}
+
+// pinState tracks one function scope's walk.
+type pinState struct {
+	pinned   bool
+	released bool
+	errObj   types.Object // the acquire's error result, if assigned
+	acquire  ast.Node     // the acquire call site (for fall-through reports)
+}
+
+func checkPinPairs(pass *Pass, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	st := &pinState{}
+	terminated := walkPinStmts(pass, body.List, st, &out)
+	if st.pinned && !st.released && !terminated {
+		out = append(out, pass.finding(st.acquire.Pos(), "pinpair",
+			"acquired handle is never released on the fall-through path; defer release after the error check"))
+	}
+	return out
+}
+
+// walkPinStmts walks a statement list updating st, reporting returns that
+// leak the pin. It reports whether the list definitely terminates
+// (ends in return/panic on this path).
+func walkPinStmts(pass *Pass, stmts []ast.Stmt, st *pinState, out *[]Finding) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if call := acquireCall(pass, s.Rhs); call != nil {
+				if st.pinned && !st.released {
+					*out = append(*out, pass.finding(call.Pos(), "pinpair",
+						"second acquire while an earlier acquire is still unreleased in this function"))
+				}
+				st.pinned = true
+				st.released = false
+				st.acquire = call
+				st.errObj = errResultObj(pass, s)
+				continue
+			}
+			// An acquire whose results are dropped or reassigned oddly still
+			// pins; catch bare `x.acquire(...)` as expressions below.
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if isMethodCallNamed(call, "acquire") {
+					if st.pinned && !st.released {
+						*out = append(*out, pass.finding(call.Pos(), "pinpair",
+							"second acquire while an earlier acquire is still unreleased in this function"))
+					}
+					st.pinned = true
+					st.released = false
+					st.acquire = call
+					st.errObj = nil
+					continue
+				}
+				if isMethodCallNamed(call, "release") {
+					st.released = true
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			if isMethodCallNamed(s.Call, "release") {
+				st.released = true
+				continue
+			}
+			// defer func() { ... release ... }() also releases.
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && containsRelease(lit.Body) {
+				st.released = true
+				continue
+			}
+		case *ast.ReturnStmt:
+			if st.pinned && !st.released {
+				*out = append(*out, pass.finding(s.Pos(), "pinpair",
+					"return path leaks the acquired handle's pin; call or defer release before returning"))
+			}
+			return true
+		case *ast.BranchStmt:
+			// break/continue/goto: end of this straight-line path; be
+			// conservative and treat as non-terminating for the caller.
+			return false
+		case *ast.IfStmt:
+			if st.pinned && !st.released && isErrNilCheck(pass, s.Cond, st.errObj) {
+				// The acquire's own failure branch: unpinned inside.
+				sub := &pinState{}
+				walkPinStmts(pass, s.Body.List, sub, out)
+				// The success path continues after the if (or in else).
+				if s.Else != nil {
+					walkPinStmts(pass, elseStmts(s.Else), st, out)
+				}
+				continue
+			}
+			thenSt := *st
+			thenTerm := walkPinStmts(pass, s.Body.List, &thenSt, out)
+			elseSt := *st
+			elseTerm := false
+			if s.Else != nil {
+				elseTerm = walkPinStmts(pass, elseStmts(s.Else), &elseSt, out)
+			}
+			switch {
+			case thenTerm && elseTerm:
+				return true
+			case thenTerm:
+				*st = elseSt
+			case elseTerm:
+				*st = thenSt
+			default:
+				// Both arms fall through: released only if both released.
+				st.released = thenSt.released && elseSt.released
+				st.pinned = thenSt.pinned || elseSt.pinned
+				if st.acquire == nil {
+					st.acquire = firstNonNil(thenSt.acquire, elseSt.acquire)
+				}
+			}
+		case *ast.ForStmt:
+			loopSt := *st
+			walkPinStmts(pass, s.Body.List, &loopSt, out)
+			mergeLoop(st, &loopSt)
+		case *ast.RangeStmt:
+			loopSt := *st
+			walkPinStmts(pass, s.Body.List, &loopSt, out)
+			mergeLoop(st, &loopSt)
+		case *ast.SwitchStmt:
+			walkPinBranches(pass, caseBodies(s.Body), st, out)
+		case *ast.TypeSwitchStmt:
+			walkPinBranches(pass, caseBodies(s.Body), st, out)
+		case *ast.SelectStmt:
+			walkPinBranches(pass, commBodies(s.Body), st, out)
+		case *ast.BlockStmt:
+			if walkPinStmts(pass, s.List, st, out) {
+				return true
+			}
+		case *ast.LabeledStmt:
+			if walkPinStmts(pass, []ast.Stmt{s.Stmt}, st, out) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// walkPinBranches analyzes mutually exclusive branch bodies (switch/select
+// cases) against a shared pre-state.
+func walkPinBranches(pass *Pass, bodies [][]ast.Stmt, st *pinState, out *[]Finding) {
+	allReleased := len(bodies) > 0
+	for _, b := range bodies {
+		sub := *st
+		if !walkPinStmts(pass, b, &sub, out) && !sub.released {
+			allReleased = false
+		}
+	}
+	if allReleased && st.pinned {
+		st.released = true
+	}
+}
+
+// mergeLoop folds a loop body's effect into the surrounding state: a
+// release inside a loop body is not guaranteed to run (zero iterations),
+// so it does not clear the obligation; an acquire inside a loop body
+// leaves the state pinned after the loop.
+func mergeLoop(st, loopSt *pinState) {
+	if loopSt.pinned && !loopSt.released {
+		st.pinned = true
+		st.released = false
+		if st.acquire == nil {
+			st.acquire = loopSt.acquire
+		}
+	}
+}
+
+// acquireCall returns the call if rhs is a single call to a method named
+// "acquire".
+func acquireCall(pass *Pass, rhs []ast.Expr) *ast.CallExpr {
+	if len(rhs) != 1 {
+		return nil
+	}
+	call, ok := rhs[0].(*ast.CallExpr)
+	if !ok || !isMethodCallNamed(call, "acquire") {
+		return nil
+	}
+	return call
+}
+
+// errResultObj finds the error-typed object assigned from the acquire.
+func errResultObj(pass *Pass, s *ast.AssignStmt) types.Object {
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var obj types.Object
+		if o := pass.Pkg.Info.Defs[id]; o != nil {
+			obj = o
+		} else if o := pass.Pkg.Info.Uses[id]; o != nil {
+			obj = o
+		}
+		if obj != nil && obj.Type() != nil && isErrorType(obj.Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isErrNilCheck reports whether cond is `errObj != nil`.
+func isErrNilCheck(pass *Pass, cond ast.Expr, errObj types.Object) bool {
+	if errObj == nil {
+		return false
+	}
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "!=" {
+		return false
+	}
+	id, nilSide := bin.X, bin.Y
+	ident, ok := id.(*ast.Ident)
+	if !ok {
+		ident, ok = nilSide.(*ast.Ident)
+		nilSide = id
+		if !ok {
+			return false
+		}
+	}
+	if nid, isIdent := nilSide.(*ast.Ident); !isIdent || nid.Name != "nil" {
+		return false
+	}
+	return pass.Pkg.Info.Uses[ident] == errObj
+}
+
+// isMethodCallNamed reports whether call invokes a selector method with
+// the given name (x.name(...)).
+func isMethodCallNamed(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+// containsRelease reports whether a block transitively calls release.
+func containsRelease(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isMethodCallNamed(call, "release") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func elseStmts(s ast.Stmt) []ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+func caseBodies(b *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func commBodies(b *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range b.List {
+		if cc, ok := s.(*ast.CommClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func firstNonNil(nodes ...ast.Node) ast.Node {
+	for _, n := range nodes {
+		if n != nil {
+			return n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// snapshotonce: a function must take an atomically published snapshot at
+// most once. The serving stack's consistency model is "resolve one
+// snapshot, answer from it": core.Advisor.Serving() and the per-tenant
+// handles publish immutable state through atomic.Pointer, and two Loads
+// of the same pointer in one function can straddle a concurrent
+// republish — the exact torn-state class the snapshots exist to prevent
+// (a request validating against one advisor generation and answering
+// from another).
+//
+// Detected loads are (a) direct `x.Load()` where x is an atomic.Pointer
+// field chain, and (b) calls to snapshot accessors: methods whose body is
+// exactly `return recv.field.Load()` (core.Advisor.Serving is one), which
+// count as a load of that field. Loads keyed to the same selector chain
+// within one function scope are flagged from the second occurrence on.
+// A deliberate re-load after a mutation publishes a successor snapshot is
+// the suppression case: say so in the reason.
+func init() {
+	register(&Rule{
+		Name: "snapshotonce",
+		Doc:  "a function must Load an atomic.Pointer snapshot at most once",
+		Run:  runSnapshotOnce,
+	})
+}
+
+func runSnapshotOnce(pass *Pass) []Finding {
+	accessors := pass.Module.snapshotAccessors()
+	var out []Finding
+	for _, f := range pass.Pkg.Files {
+		for _, body := range funcScopes(f) {
+			loads := map[string][]ast.Node{} // key -> load sites in order
+			inspectShallow(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if key, ok := pass.snapshotLoadKey(sel, accessors); ok {
+					loads[key] = append(loads[key], call)
+				}
+				return true
+			})
+			keys := make([]string, 0, len(loads))
+			for key := range loads {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				for _, site := range loads[key][1:] {
+					out = append(out, pass.finding(site.Pos(), "snapshotonce",
+						"snapshot %s is loaded more than once in this function; "+
+							"take it once and answer from that one snapshot (concurrent republishes make repeated loads observe torn state)",
+						key))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// snapshotLoadKey classifies sel (the callee of a call) as a snapshot
+// load and returns its identity key.
+func (p *Pass) snapshotLoadKey(sel *ast.SelectorExpr, accessors map[accessorKey]string) (string, bool) {
+	info := p.Pkg.Info
+	// Direct x.Load() on an atomic.Pointer.
+	if sel.Sel.Name == "Load" {
+		if tv, ok := info.Types[sel.X]; ok && isPkgType(tv.Type, "sync/atomic", "Pointer") {
+			if key, ok := exprKey(sel.X); ok {
+				return key, true
+			}
+		}
+	}
+	// Accessor call recv.M() where M is a registered snapshot accessor.
+	if selInfo, ok := info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+		named := namedOf(selInfo.Recv())
+		if named != nil {
+			if field, ok := accessors[accessorKey{named.Obj(), sel.Sel.Name}]; ok {
+				if key, ok := exprKey(sel.X); ok {
+					return key + "." + field, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// accessorKey identifies a method by its receiver's type object and name.
+type accessorKey struct {
+	recv   *types.TypeName
+	method string
+}
+
+// snapshotAccessors finds, module-wide, every method whose body is exactly
+// `return recv.field.Load()` with field an atomic.Pointer — the accessor
+// idiom that wraps snapshot resolution (Advisor.Serving). Cached on the
+// module because every package's pass consults the same set.
+func (m *Module) snapshotAccessors() map[accessorKey]string {
+	if m.accessors != nil {
+		return m.accessors
+	}
+	m.accessors = map[accessorKey]string{}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Body.List) != 1 {
+					continue
+				}
+				ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					continue
+				}
+				call, ok := ret.Results[0].(*ast.CallExpr)
+				if !ok || len(call.Args) != 0 {
+					continue
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Load" {
+					continue
+				}
+				tv, ok := pkg.Info.Types[sel.X]
+				if !ok || !isPkgType(tv.Type, "sync/atomic", "Pointer") {
+					continue
+				}
+				// The loaded expression must be a field of the receiver:
+				// recv.field (or recv.a.b — keep the chain minus the root).
+				fieldSel, ok := sel.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := recvTypeName(pkg.Info, fd)
+				if obj == nil {
+					continue
+				}
+				key, ok := exprKey(fieldSel)
+				if !ok {
+					continue
+				}
+				// Strip the receiver identifier: "a.snap" -> "snap".
+				if i := strings.IndexByte(key, '.'); i >= 0 {
+					key = key[i+1:]
+				}
+				m.accessors[accessorKey{obj, fd.Name.Name}] = key
+			}
+		}
+	}
+	return m.accessors
+}
+
+// recvTypeName resolves a method declaration's receiver type object.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	if n := namedOf(tv.Type); n != nil {
+		return n.Obj()
+	}
+	return nil
+}

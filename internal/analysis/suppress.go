@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//autoce:ignore rule[,rule...] -- reason
+//
+// placed on the flagged line (trailing) or the line directly above it.
+// The reason is mandatory — a suppression that cannot say why it exists
+// is reported as a finding itself.
+const ignorePrefix = "autoce:ignore"
+
+type suppressionSet struct {
+	// byLine maps file:line (the line a suppression covers) to the rule
+	// names it suppresses ("*" entries never occur: rules are explicit).
+	byLine    map[string]map[string]bool
+	malformed []Finding
+}
+
+func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressionSet {
+	s := &suppressionSet{byLine: map[string]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				spec, reason, hasReason := strings.Cut(rest, "--")
+				spec = strings.TrimSpace(spec)
+				if !hasReason || strings.TrimSpace(reason) == "" || spec == "" {
+					s.malformed = append(s.malformed, Finding{
+						Pos:  pos,
+						Rule: "suppression",
+						Message: "malformed suppression: want " +
+							"//autoce:ignore rule[,rule...] -- reason (the reason is mandatory)",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				bad := false
+				for _, r := range strings.Split(spec, ",") {
+					r = strings.TrimSpace(r)
+					if RuleByName(r) == nil {
+						s.malformed = append(s.malformed, Finding{
+							Pos:     pos,
+							Rule:    "suppression",
+							Message: fmt.Sprintf("suppression names unknown rule %q", r),
+						})
+						bad = true
+						continue
+					}
+					names[r] = true
+				}
+				if bad && len(names) == 0 {
+					continue
+				}
+				// A suppression covers its own line (trailing comment) and
+				// the line below (standalone comment above the code).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := lineKey(pos.Filename, line)
+					if s.byLine[key] == nil {
+						s.byLine[key] = map[string]bool{}
+					}
+					for r := range names {
+						s.byLine[key][r] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressionSet) covers(f Finding) bool {
+	return s.byLine[lineKey(f.Pos.Filename, f.Pos.Line)][f.Rule]
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -1,0 +1,77 @@
+// Package loop seeds the ctxloop golden cases: while-shaped loops in
+// context-taking functions must consult the context.
+package loop
+
+import "context"
+
+func leak(ctx context.Context, ch chan int) {
+	for { // want "never checks the context"
+		<-ch
+	}
+}
+
+// selectChecked reads ctx.Done in a select: clean.
+func selectChecked(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// condChecked consults the context in the loop condition: clean.
+func condChecked(ctx context.Context, ch chan int) {
+	for ctx.Err() == nil {
+		<-ch
+	}
+}
+
+// bounded three-clause loops finish on their own: clean.
+func bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// noCtx takes no context, so the contract does not apply.
+func noCtx(ch chan int) {
+	for {
+		if <-ch == 0 {
+			return
+		}
+	}
+}
+
+type worker struct{}
+
+func (w *worker) Canceled() bool { return false }
+
+// helperChecked uses the Canceled() helper convention: clean.
+func helperChecked(ctx context.Context, w *worker, ch chan int) {
+	for {
+		if w.Canceled() {
+			return
+		}
+		<-ch
+	}
+}
+
+func suppressedLoop(ctx context.Context, ch chan int) {
+	//autoce:ignore ctxloop -- fixture: lifetime bounded by channel close upstream
+	for {
+		if _, ok := <-ch; !ok {
+			return
+		}
+	}
+}
+
+// closureLeak proves literals with their own context parameter are scoped.
+var closureLeak = func(ctx context.Context, ch chan int) {
+	for { // want "never checks the context"
+		<-ch
+	}
+}

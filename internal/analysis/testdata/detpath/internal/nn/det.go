@@ -1,0 +1,81 @@
+// Package nn sits inside the detpath scope (module-relative internal/nn):
+// wall-clock reads, global rand draws, and order-sensitive map ranges must
+// all fire here.
+package nn
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "shared process-wide stream"
+}
+
+// seededRand constructs its own generator: clean.
+func seededRand() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "slice order via append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// mapAppendSorted is the collect-and-sort idiom: clean.
+func mapAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "float accumulation"
+		sum += v
+	}
+	return sum
+}
+
+// mapIntCount commutes exactly: clean.
+func mapIntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func mapCalls(m map[string]int, sink func(string)) {
+	for k := range m { // want "calls made in iteration order"
+		sink(k)
+	}
+}
+
+// closureRange proves map-range checks see function literals too.
+func closureRange(m map[string]int) func() []string {
+	return func() []string {
+		var out []string
+		for k := range m { // want "slice order via append"
+			out = append(out, k)
+		}
+		return out
+	}
+}
+
+func suppressedNow() int64 {
+	//autoce:ignore detpath -- fixture: measured latency is the reported metric
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,7 @@
+// Package other sits outside the determinism scope: the same wall-clock
+// read that fires in internal/nn stays quiet here.
+package other
+
+import "time"
+
+func WallClock() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,3 @@
+module vetsample
+
+go 1.24

@@ -1,0 +1,16 @@
+// Package resilience mirrors the real failpoint surface: a Failpoint hook
+// plus the documented FailpointSites registry the rule cross-checks.
+package resilience
+
+// FailpointSites is the documented site list.
+var FailpointSites = []string{
+	"dup.site",
+	"good.site",
+	"stale.site", // want "no call site"
+}
+
+// Failpoint is the injection hook.
+func Failpoint(name string) error {
+	_ = name
+	return nil
+}

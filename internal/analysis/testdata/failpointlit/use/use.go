@@ -1,0 +1,26 @@
+// Package use exercises the failpointlit call-site checks: constant and
+// documented (clean), undocumented, non-constant, and duplicated names.
+package use
+
+import "vetsample/resilience"
+
+func Good() error { return resilience.Failpoint("good.site") }
+
+func Undocumented() error {
+	return resilience.Failpoint("rogue.site") // want "not in resilience.FailpointSites"
+}
+
+func NonConstant(name string) error {
+	return resilience.Failpoint(name) // want "must be a constant string literal"
+}
+
+func DupFirst() error { return resilience.Failpoint("dup.site") }
+
+func DupSecond() error {
+	return resilience.Failpoint("dup.site") // want "already compiled in"
+}
+
+func Suppressed(name string) error {
+	//autoce:ignore failpointlit -- fixture: dynamic name validated upstream
+	return resilience.Failpoint(name)
+}

@@ -1,0 +1,92 @@
+// Package pin seeds the pinpair golden cases around the model-cache
+// convention: a method named acquire pins, a method named release unpins,
+// and `if err != nil { return }` directly after the acquire is the exempt
+// unpinned failure branch.
+package pin
+
+import "errors"
+
+type handle struct{}
+
+type cache struct{}
+
+func (c *cache) acquire(name string) (*handle, error) { return &handle{}, nil }
+func (c *cache) release(h *handle)                    {}
+
+var errBoom = errors.New("boom")
+
+// deferIdiom is the shape every real call site uses: always clean.
+func deferIdiom(c *cache) error {
+	h, err := c.acquire("m")
+	if err != nil {
+		return err
+	}
+	defer c.release(h)
+	return nil
+}
+
+// leakReturn skips release on an unrelated early return.
+func leakReturn(c *cache, bad bool) error {
+	h, err := c.acquire("m")
+	if err != nil {
+		return err
+	}
+	if bad {
+		return errBoom // want "return path leaks the acquired handle"
+	}
+	c.release(h)
+	return nil
+}
+
+// leakFallthrough never releases at all.
+func leakFallthrough(c *cache) {
+	c.acquire("m") // want "never released on the fall-through path"
+}
+
+// halfReleased releases in only one arm of a branch, so the fall-through
+// path after the if may still hold the pin. Reported at the acquire.
+func halfReleased(c *cache, b bool) {
+	h, err := c.acquire("m") // want "never released on the fall-through path"
+	if err != nil {
+		return
+	}
+	if b {
+		c.release(h)
+	}
+}
+
+// doubleAcquire stacks a second pin on an unreleased first one.
+func doubleAcquire(c *cache) {
+	h1, _ := c.acquire("a")
+	h2, _ := c.acquire("b") // want "second acquire"
+	c.release(h1)
+	c.release(h2)
+}
+
+// bothArmsRelease is clean: every non-terminating branch released.
+func bothArmsRelease(c *cache, k int) {
+	h, err := c.acquire("m")
+	if err != nil {
+		return
+	}
+	switch k {
+	case 0:
+		c.release(h)
+	default:
+		c.release(h)
+	}
+}
+
+// deferredClosure releases inside a deferred literal: clean.
+func deferredClosure(c *cache) {
+	h, err := c.acquire("m")
+	if err != nil {
+		return
+	}
+	defer func() { c.release(h) }()
+}
+
+func suppressedLeak(c *cache) {
+	//autoce:ignore pinpair -- fixture: the leak is this case's point
+	c.acquire("m")
+}

@@ -1,0 +1,70 @@
+// Package snap seeds the snapshotonce golden cases: double direct loads,
+// double accessor calls, a mixed direct+accessor pair, the suppression
+// syntax (well-formed and malformed), and clean shapes that must not fire.
+package snap
+
+import "sync/atomic"
+
+type state struct{ n int }
+
+// Holder publishes immutable state through an atomic.Pointer, like the
+// advisor and the per-tenant handles.
+type Holder struct {
+	p atomic.Pointer[state]
+}
+
+// Serving is the accessor idiom — its body is exactly one Load of an
+// atomic.Pointer field, so calls to it count as loads of that field.
+func (h *Holder) Serving() *state { return h.p.Load() }
+
+func doubleDirect(h *Holder) int {
+	a := h.p.Load()
+	b := h.p.Load() // want "loaded more than once"
+	return a.n + b.n
+}
+
+func doubleAccessor(h *Holder) int {
+	a := h.Serving()
+	b := h.Serving() // want "loaded more than once"
+	return a.n + b.n
+}
+
+// mixed proves the accessor resolves to the same snapshot identity as the
+// direct load of the field it wraps.
+func mixed(h *Holder) int {
+	a := h.p.Load()
+	b := h.Serving() // want "loaded more than once"
+	return a.n + b.n
+}
+
+func suppressed(h *Holder) int {
+	a := h.p.Load()
+	//autoce:ignore snapshotonce -- fixture: deliberate re-load after a republish
+	b := h.p.Load()
+	return a.n + b.n
+}
+
+// distinctHolders loads two different snapshots once each: clean.
+func distinctHolders(h, g *Holder) int {
+	a := h.p.Load()
+	b := g.p.Load()
+	return a.n + b.n
+}
+
+// closureScope takes one snapshot per function scope: the literal is its
+// own scope, so the pair is clean.
+func closureScope(h *Holder) (int, func() int) {
+	a := h.p.Load()
+	f := func() int { return h.p.Load().n }
+	return a.n, f
+}
+
+func missingReason(h *Holder) *state {
+	//autoce:ignore snapshotonce // want "malformed suppression"
+	return h.p.Load() // a single load: the rule itself stays quiet here
+}
+
+func unknownRule(h *Holder) *state {
+	//autoce:ignore nosuchrule -- reason text // want "unknown rule"
+	return h.p.Load()
+}

@@ -18,6 +18,7 @@ package flat
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/ce"
 	"repro/internal/workload"
@@ -43,11 +44,15 @@ func DefaultConfig() Config {
 }
 
 // group is one jointly modeled column set: a sparse joint histogram over
-// the group's bin tuples.
+// the group's bin tuples. The histogram is stored as parallel slices in
+// sorted key order — not a map — so that prob's accumulation order (and
+// with it the estimate's float rounding) is identical on every call and
+// every run.
 type group struct {
-	cols   []int // sample column slots, ascending
-	counts map[string]float64
-	total  float64
+	cols  []int     // sample column slots, ascending
+	keys  []string  // joint-histogram cell keys, sorted
+	cnts  []float64 // cnts[i] is the count of keys[i]
+	total float64
 	// bins[i] is the bin count of cols[i], for smoothing volume.
 	bins []int
 }
@@ -123,14 +128,34 @@ func (m *Model) Fit(in *ce.TrainInput) error {
 		r := find(c)
 		members[r] = append(members[r], c)
 	}
-	for _, cols := range members {
-		g := &group{cols: cols, counts: map[string]float64{}}
+	// Assemble groups in ascending root order: m.groups' order decides the
+	// product order in Estimate, and float products round differently under
+	// reassociation — iterating the members map directly made two Fits on
+	// identical input disagree in the last ulp.
+	roots := make([]int, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		cols := members[r]
+		g := &group{cols: cols}
 		for _, c := range cols {
 			g.bins = append(g.bins, m.binner.NumBins(c))
 		}
-		for _, r := range rows {
-			g.counts[groupKey(r, cols)]++
+		counts := map[string]float64{}
+		for _, row := range rows {
+			counts[groupKey(row, cols)]++
 			g.total++
+		}
+		g.keys = make([]string, 0, len(counts))
+		for key := range counts {
+			g.keys = append(g.keys, key)
+		}
+		sort.Strings(g.keys)
+		g.cnts = make([]float64, len(g.keys))
+		for i, key := range g.keys {
+			g.cnts[i] = counts[key]
 		}
 		m.groups = append(m.groups, g)
 	}
@@ -165,11 +190,9 @@ func (g *group) prob(ranges map[int][2]int, alpha float64) float64 {
 		volume *= float64(nb)
 	}
 	var hits float64
-	var hitCells float64
-	for key, cnt := range g.counts {
+	for i, key := range g.keys {
 		if g.keyInRanges(key, ranges) {
-			hits += cnt
-			hitCells++
+			hits += g.cnts[i]
 		}
 	}
 	// Allowed-region volume for the smoothing mass.

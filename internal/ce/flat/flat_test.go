@@ -121,6 +121,51 @@ func TestMonotoneInRangeWidth(t *testing.T) {
 	}
 }
 
+// TestFitAndEstimateDeterministic is the regression for the two detpath
+// findings autoce-vet raised here: group assembly iterated a map (so
+// m.groups' order — and with it Estimate's float-product order — varied
+// run to run), and prob accumulated histogram counts in map iteration
+// order (so a single model could return last-ulp-different estimates for
+// the same query on consecutive calls). Both must now be bit-stable.
+func TestFitAndEstimateDeterministic(t *testing.T) {
+	p := datagen.DefaultParams(11)
+	p.MinRows, p.MaxRows = 300, 400
+	d, err := datagen.Generate("f", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload.Generate(d, workload.DefaultConfig(60, 12))
+
+	// Map iteration order is randomized per range statement, so one
+	// agreeing attempt proves nothing — repeat enough times that the old
+	// code would essentially always diverge somewhere.
+	ref := trained(t, d, 13)
+	refEsts := make([]float64, len(qs))
+	for i, q := range qs {
+		refEsts[i] = ref.Estimate(q)
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		m := trained(t, d, 13)
+		if got, want := len(m.groups), len(ref.groups); got != want {
+			t.Fatalf("attempt %d: %d groups, want %d", attempt, got, want)
+		}
+		for gi, g := range m.groups {
+			if len(g.cols) != len(ref.groups[gi].cols) || g.cols[0] != ref.groups[gi].cols[0] {
+				t.Fatalf("attempt %d: group %d is %v, want %v", attempt, gi, g.cols, ref.groups[gi].cols)
+			}
+		}
+		for i, q := range qs {
+			if got := m.Estimate(q); got != refEsts[i] {
+				t.Fatalf("attempt %d: refit estimate %v != %v (bits must match)", attempt, got, refEsts[i])
+			}
+			// Same model, same query, repeated call: bit-identical.
+			if again := ref.Estimate(q); again != refEsts[i] {
+				t.Fatalf("attempt %d: repeated estimate %v != %v on one model", attempt, again, refEsts[i])
+			}
+		}
+	}
+}
+
 func TestDegenerateSample(t *testing.T) {
 	p := datagen.DefaultParams(8)
 	p.MinRows, p.MaxRows = 100, 150

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -475,8 +476,13 @@ func TableV(c *Corpus) (*TableVResult, error) {
 			for mi, m := range res.Models {
 				ests[testbed.ModelNames[mi]] = m
 			}
-			for name, est := range ests {
-				opt := pgsim.New(d, est)
+			names := make([]string, 0, len(ests))
+			for name := range ests {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				opt := pgsim.New(d, ests[name])
 				for _, q := range qs {
 					r := opt.Run(q)
 					agg[name].exec += time.Duration(float64(r.ExecTime) * execScale)

@@ -28,6 +28,20 @@ import (
 // probability (default 1: every hit fires).
 const FailpointEnv = "AUTOCE_FAILPOINTS"
 
+// FailpointSites is the registry of every failpoint name compiled into
+// the module — the names AUTOCE_FAILPOINTS specs may target. Keep it
+// sorted and exhaustive: autoce-vet's failpointlit rule cross-checks
+// every Failpoint call site against this list (constant, unique, and
+// documented here) and flags stale entries with no call site, so an
+// injection spec can never silently name nothing.
+var FailpointSites = []string{
+	"ce.pglike.estimate", // pglike inference (error mode ignored there; panic/sleep fire)
+	"ce.pglike.fit",      // pglike training
+	"ce.store.load",      // artifact decode path
+	"ce.store.save",      // artifact persist path
+	"serve.onboard",      // /datasets onboarding, post-decode pre-state-change
+}
+
 // ErrInjected is the error returned by error-mode failpoints; injection
 // sites propagate it like any I/O failure, and tests assert on it with
 // errors.Is.

@@ -172,6 +172,7 @@ type Prepared struct {
 // splits it, draws the join sample, and instantiates the untrained
 // registry.
 func Prepare(d *dataset.Dataset, cfg Config) (*Prepared, error) {
+	//autoce:ignore detpath -- run wall time for the returned report's TotalTime; it never enters labels
 	p := &Prepared{D: d, Cfg: cfg, start: time.Now()}
 	qs := workload.Generate(d, workload.DefaultConfig(cfg.NumQueries, cfg.Seed))
 	p.Train, p.Test = workload.Split(qs, cfg.TrainFrac, cfg.Seed+1)
@@ -245,6 +246,7 @@ func (p *Prepared) Finish() (*Result, error) {
 	}
 	label := &Label{DatasetName: p.D.Name, Perfs: make([]metrics.Perf, len(models))}
 	for i, m := range models {
+		//autoce:ignore detpath -- measured inference latency IS the Se efficiency signal (paper Eq. 4); only the Sa/Se normalization is pinned deterministic
 		t0 := time.Now()
 		ests := m.EstimateBatch(p.Test)
 		elapsed := time.Since(t0)
