@@ -67,8 +67,44 @@
 //     coalesce into one EstimateBatch ride through admission
 //     (-no-coalesce to disable).
 //   - Rendezvous shard routing (-shard-index, -shard-count,
-//     -shard-peers) splits the tenant space across a fleet; non-owned
-//     datasets answer 421 or are thin-proxied to the owner (shard.go).
+//     -shard-peers) splits the tenant space across a fleet, each dataset
+//     mapping to a replica set of -replicas shards: the rendezvous
+//     primary takes writes, every member serves reads (shard.go).
+//
+// # Fleet fault tolerance
+//
+// Per dataset, each endpoint's behavior by shard role (421 is
+// Misdirected Request, naming the primary in X-Shard-Want/X-Shard-Peer;
+// "forward" applies when -shard-peers is configured and the request
+// carries X-Shard-Key but not X-Shard-Forwarded — forwarded requests
+// never forward again):
+//
+//	endpoint             primary              replica               any other shard
+//	/estimate            serves               serves (lazy stub     forwards across the
+//	                                          from the shared       replica set with
+//	                                          -model-dir store)     retry + hedge, else 421
+//	/recommend, /drift   serves               serves                forwards (failover), else 421
+//	/datasets            serves, records to   421 unless marked     forwards once to the
+//	                     manifest, fans out   X-Shard-Replicate     primary, else 421
+//	                     to replica set       (the primary fan-out)
+//	/train               serves (replicas     421                   forwards once to the
+//	                     pick the artifact                          primary, else 421
+//	                     up lazily)
+//
+// Forwarding runs through per-peer circuit breakers (a crashed shard
+// costs one failure window, not a timeout per request), a background
+// /healthz prober whose rise/fall-filtered view orders failover targets,
+// and — for /estimate — an optional hedged second forward fired at the
+// observed forward-latency p90 with first-response-wins cancellation
+// (-no-hedge disables). Reads retry with capped decorrelated-jitter
+// backoff; writes are forwarded exactly once and never replayed. A
+// forward that exhausts every option answers a JSON 502.
+//
+// Each shard also records every dataset payload it accepts in a
+// CRC-enveloped tenant manifest (-manifest, defaulting into -model-dir)
+// written tempfile+rename like the model artifacts; on restart the shard
+// replays it through onboarding and resumes serving from stored
+// artifacts with zero client action.
 //
 // # Resilience
 //
@@ -102,6 +138,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -133,7 +170,13 @@ func main() {
 	noCoalesce := flag.Bool("no-coalesce", false, "disable merging concurrent single-query /estimate calls into batched rides")
 	shardIndex := flag.Int("shard-index", 0, "this instance's shard number in a sharded fleet (see -shard-count)")
 	shardCount := flag.Int("shard-count", 0, "total shards in the fleet; datasets are routed by rendezvous hash, others answer 421 (0/1 = unsharded)")
-	shardPeers := flag.String("shard-peers", "", "comma-separated base URLs of all shards (including this one); enables thin-proxy forwarding of X-Shard-Key requests")
+	shardPeers := flag.String("shard-peers", "", "comma-separated base URLs of all shards (including this one); enables fleet-proxy forwarding of X-Shard-Key requests")
+	replicas := flag.Int("replicas", 2, "replica-set size per dataset: the rendezvous primary takes writes, runners-up also serve reads (clamped to -shard-count)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-attempt timeout for forwarded reads in the fleet proxy (0 = default 5s)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer /healthz probe interval (0 = default 2s)")
+	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe timeout (0 = default 1s)")
+	noHedge := flag.Bool("no-hedge", false, "disable the hedged second /estimate forward (fired at the observed forward-latency p90)")
+	manifestPath := flag.String("manifest", "", "crash-safe tenant manifest for restart recovery (default: <model-dir>/shard-<i>.manifest, or tenants.manifest unsharded; \"none\" disables)")
 	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (useful with -addr :0)")
 	flag.Parse()
 	if *advisorPath == "" {
@@ -146,10 +189,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "autoce-serve: -model-mem-budget: %v\n", err)
 		os.Exit(2)
 	}
-	shard, err := newSharder(*shardIndex, *shardCount, *shardPeers)
+	shard, err := newSharder(*shardIndex, *shardCount, *replicas, *shardPeers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "autoce-serve: %v\n", err)
 		os.Exit(2)
+	}
+	manifest := *manifestPath
+	switch {
+	case manifest == "none":
+		manifest = ""
+	case manifest == "" && *modelDir != "":
+		// Default next to the artifacts the recovered tenants serve from.
+		if shard != nil {
+			manifest = filepath.Join(*modelDir, fmt.Sprintf("shard-%d.manifest", shard.index))
+		} else {
+			manifest = filepath.Join(*modelDir, "tenants.manifest")
+		}
 	}
 
 	adv, err := core.LoadFile(*advisorPath)
@@ -182,6 +237,11 @@ func main() {
 		ModelMemBudget:   memBudget,
 		NoCoalesce:       *noCoalesce,
 		Shard:            shard,
+		PeerTimeout:      *peerTimeout,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		NoHedge:          *noHedge,
+		ManifestPath:     manifest,
 	})
 	srv := &http.Server{
 		Handler:           app,
@@ -192,6 +252,11 @@ func main() {
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if app.peers != nil {
+		// Background peer-health probing feeds the proxy's failover
+		// ordering and the /healthz fleet table; it stops with the process.
+		go app.peers.prober.Run(ctx)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -240,9 +305,15 @@ type server struct {
 	cache *modelCache
 	// coalesce merges concurrent single-query /estimate calls for the
 	// same served model into one batched ride; shard, when non-nil,
-	// scopes this instance to its rendezvous-owned datasets (shard.go).
+	// scopes this instance to its rendezvous replica sets (shard.go).
 	coalesce *resilience.Coalescer[*workload.Query, float64]
 	shard    *sharder
+	// peers is the fleet proxy — breakers, prober, retry/hedge — when
+	// shard peers are configured (proxy.go); manifest is the crash-safe
+	// record of onboarded datasets replayed on restart (manifest.go).
+	// Either may be nil.
+	peers    *peerSet
+	manifest *tenantManifest
 
 	// adm is the two-class admission controller; opts carries the
 	// per-endpoint deadlines (see resilience.go).
@@ -275,6 +346,19 @@ func newServerOpts(adv *core.Advisor, store *ce.Store, opts serveOptions) *serve
 	s.cache = newModelCache(store, s.opts.ModelBudget, s.opts.ModelMemBudget)
 	s.coalesce = &resilience.Coalescer[*workload.Query, float64]{MaxBatch: maxBatchQueries}
 	s.shard = s.opts.Shard
+	if s.shard != nil && s.shard.peers != nil {
+		s.peers = newPeerSet(s.shard, s.opts)
+	}
+	if s.opts.ManifestPath != "" {
+		var err error
+		s.manifest, err = newTenantManifest(s.opts.ManifestPath)
+		if err != nil {
+			// Corrupt manifests are quarantined inside newTenantManifest;
+			// either way the returned manifest is usable and serving starts.
+			log.Printf("WARNING: %v", err)
+		}
+		s.recoverTenants()
+	}
 	s.ready.Store(true)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/recommend", s.cheap(s.opts.QuickDeadline, s.handleRecommend))
@@ -287,7 +371,7 @@ func newServerOpts(adv *core.Advisor, store *ce.Store, opts serveOptions) *serve
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
-	s.handler = recovered(s.shard.middleware(mux))
+	s.handler = recovered(s.shardRoute(mux))
 	return s
 }
 
@@ -369,11 +453,14 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "provide either \"dataset\" or an inline graph, not both")
 			return
 		}
-		if !s.shardOK(w, req.Dataset) {
+		if !s.shardReadOK(w, req.Dataset) {
 			return
 		}
 		tn := s.fleet.tenant(req.Dataset)
 		if tn == nil {
+			if s.readRepair(w, r, req.Dataset, &req) {
+				return
+			}
 			writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded", req.Dataset))
 			return
 		}
@@ -495,7 +582,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["model_store"] = s.store.Stats()
 	}
 	if s.shard != nil {
-		resp["shard"] = map[string]any{"index": s.shard.index, "count": s.shard.count}
+		resp["shard"] = map[string]any{
+			"index": s.shard.index, "count": s.shard.count,
+			"replicas": s.shard.replicas,
+		}
+	}
+	if s.peers != nil {
+		resp["fleet"] = s.peers.healthTable()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -267,13 +268,14 @@ func hasPredicableColumn(d *dataset.Dataset) bool {
 
 // handleDatasets onboards (or replaces) a dataset: validate, extract the
 // feature graph, register any stored artifacts as cold-loadable models,
-// and publish the new tenant snapshot.
+// publish the new tenant snapshot, record it in the tenant manifest, and
+// (as primary) fan the payload out to the dataset's replica set.
 func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	var req datasetRequest
 	if !decodePost(w, r, &req) {
 		return
 	}
-	if !s.shardOK(w, req.Name) {
+	if !s.shardWriteOK(w, r, req.Name) {
 		return
 	}
 	// Failpoint "serve.onboard" injects an onboarding failure after decode
@@ -283,24 +285,92 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "onboarding: "+err.Error())
 		return
 	}
+	resp, status, err := s.onboard(&req)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	s.recordAndReplicate(r, &req)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordAndReplicate is the durability/fan-out tail of a successful
+// onboarding: persist the payload to the tenant manifest (best-effort —
+// a failed write degrades restart durability, not serving) and, when this
+// shard is the dataset's primary, replicate the payload to the rest of
+// its replica set so they can serve reads. Replication fan-ins (requests
+// already carrying X-Shard-Replicate) are recorded but never re-fanned.
+func (s *server) recordAndReplicate(r *http.Request, req *datasetRequest) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		log.Printf("onboarding %q: encoding manifest entry: %v", req.Name, err)
+		return
+	}
+	if s.manifest != nil {
+		if err := s.manifest.put(req.Name, payload); err != nil {
+			log.Printf("onboarding %q: manifest write failed (restart recovery degraded): %v", req.Name, err)
+		}
+	}
+	if s.peers == nil || s.shard == nil || r.Header.Get(headerReplicate) != "" || !s.shard.owns(req.Name) {
+		return
+	}
+	for _, peer := range s.shard.replicasOf(req.Name) {
+		if peer == s.shard.index {
+			continue
+		}
+		if err := s.peers.replicate(r.Context(), peer, req.Name, payload); err != nil {
+			// Best-effort: the replica serves 404s for this tenant until a
+			// later onboarding reaches it; reads fail over to the primary.
+			log.Printf("onboarding %q: replicating to shard %d failed: %v", req.Name, peer, err)
+		}
+	}
+}
+
+// readRepair rescues a read for a dataset this shard backs but never
+// onboarded — the onboarding fan-out is best-effort, so a replica can
+// lag behind its set. Instead of a 404 the read re-forwards to the rest
+// of the replica set (primary included), turning the replication gap
+// into one extra hop. Forwarded requests are excluded: the loop guard
+// makes the second miss final, so a genuinely unknown dataset still
+// answers 404 after at most one bounce. Reports whether it responded.
+func (s *server) readRepair(w http.ResponseWriter, r *http.Request, name string, req any) bool {
+	if s.peers == nil || s.shard == nil || !s.shard.backs(name) || r.Header.Get("X-Shard-Forwarded") != "" {
+		return false
+	}
+	repairable := false // some other member must exist to ask (replicas=1 has none)
+	for _, p := range s.shard.replicasOf(name) {
+		repairable = repairable || p != s.shard.index
+	}
+	if !repairable {
+		return false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	s.peers.forwardRead(w, r, name, body)
+	return true
+}
+
+// onboard is the core of dataset onboarding, shared by the HTTP handler
+// and manifest replay at startup. It returns the HTTP status to pair
+// with a non-nil error.
+func (s *server) onboard(req *datasetRequest) (*datasetResponse, int, error) {
 	d, err := req.toDataset()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, http.StatusBadRequest, err
 	}
 	g, err := feature.Extract(d, feature.DefaultConfig())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "extracting features: "+err.Error())
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf("extracting features: %w", err)
 	}
 	// One snapshot for the whole request: a concurrent republish between
 	// the dimension check and the response would otherwise validate against
 	// one encoder and report another's dimension.
 	serving := s.adv.Serving()
 	if inDim := serving.InDim(); len(g.V) > 0 && len(g.V[0]) != inDim {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
-			"dataset features have dimension %d, advisor's encoder expects %d", len(g.V[0]), inDim))
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf(
+			"dataset features have dimension %d, advisor's encoder expects %d", len(g.V[0]), inDim)
 	}
 	tn := &tenant{d: d, graph: g, models: map[string]*servedModel{}}
 	// Register persisted artifacts for this dataset name as cold-loadable
@@ -370,10 +440,40 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	h.snap.Store(tn)
 	h.mu.Unlock()
 
-	writeJSON(w, http.StatusOK, datasetResponse{
+	return &datasetResponse{
 		Dataset: d.Name, Tables: d.NumTables(), Rows: d.TotalRows(),
 		VertexDim: serving.InDim(), StoredModels: stored,
-	})
+	}, http.StatusOK, nil
+}
+
+// recoverTenants replays the tenant manifest through the onboarding core:
+// every dataset this shard still backs is re-onboarded (re-registering
+// its stored artifacts as cold-loadable stubs), so a restarted shard
+// resumes serving estimates with zero client action. Entries the shard no
+// longer backs (a topology change between runs) are skipped but kept in
+// the manifest. Failures are logged, not fatal: one bad entry must not
+// keep the rest of the fleet's tenants down.
+func (s *server) recoverTenants() {
+	entries := s.manifest.snapshot()
+	recovered := 0
+	for name, payload := range entries {
+		if s.shard != nil && !s.shard.backs(name) {
+			continue
+		}
+		var req datasetRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			log.Printf("manifest recovery: decoding %q: %v", name, err)
+			continue
+		}
+		if _, _, err := s.onboard(&req); err != nil {
+			log.Printf("manifest recovery: onboarding %q: %v", name, err)
+			continue
+		}
+		recovered++
+	}
+	if len(entries) > 0 {
+		log.Printf("manifest recovery: re-onboarded %d of %d recorded tenants", recovered, len(entries))
+	}
 }
 
 // ------------------------------------------------------------------ train
@@ -404,7 +504,7 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	if !s.shardOK(w, req.Dataset) {
+	if !s.shardPrimaryOK(w, req.Dataset) {
 		return
 	}
 	tn := s.fleet.tenant(req.Dataset)
@@ -637,11 +737,14 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	if !s.shardOK(w, req.Dataset) {
+	if !s.shardReadOK(w, req.Dataset) {
 		return
 	}
 	tn := s.fleet.tenant(req.Dataset)
 	if tn == nil {
+		if s.readRepair(w, r, req.Dataset, &req) {
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("dataset %q is not onboarded", req.Dataset))
 		return
 	}
@@ -659,8 +762,13 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	sm, ok := tn.models[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no trained %q model for dataset %q", name, req.Dataset))
-		return
+		// Replica path: the model may have been trained by the primary
+		// after this shard onboarded the tenant. Probe the shared artifact
+		// store and register a cold-loadable stub on the fly.
+		if sm = s.discoverStored(req.Dataset, name); sm == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no trained %q model for dataset %q", name, req.Dataset))
+			return
+		}
 	}
 
 	payloads := req.Queries
@@ -739,6 +847,46 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		resp.Estimate = ests[0]
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// discoverStored registers a cold-loadable stub for an artifact another
+// shard (the primary) wrote to the shared store after this shard
+// onboarded the tenant — the lazy path by which trained models reach
+// replicas without any fan-out. Returns nil when no matching, schema-
+// compatible artifact exists. Only the artifact wrapper is read; the
+// model decodes through the model cache on first estimate, exactly like
+// a restart's cold load.
+func (s *server) discoverStored(dsName, model string) *servedModel {
+	if s.store == nil {
+		return nil
+	}
+	spec, ok := ce.Lookup(model)
+	if !ok || spec.Kind == ce.Composite {
+		return nil
+	}
+	h := s.fleet.getOrCreate(dsName)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	tn := h.snap.Load()
+	if tn == nil {
+		return nil
+	}
+	if sm := tn.models[model]; sm != nil {
+		return sm // another request discovered it first
+	}
+	schema := schemaSignature(tn.d)
+	artSchema, size, err := s.store.Info(dsName, model)
+	if err != nil || artSchema != schema {
+		return nil
+	}
+	sm := newStubModel(spec, dsName, schema, size)
+	nt := tn.clone()
+	nt.models[model] = sm
+	if nt.active == "" {
+		nt.active = model
+	}
+	h.snap.Store(nt)
+	return sm
 }
 
 // ----------------------------------------------------------------- models

@@ -1,0 +1,344 @@
+package main
+
+// Tests for fleet fault tolerance: read failover across the replica set,
+// the non-mutating forward contract, JSON 502 when every option is
+// exhausted, tenant-manifest round-trips, and restart recovery.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ce"
+	"repro/internal/resilience"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.manifest")
+	m, err := newTenantManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.put("a", []byte(`{"gen":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.put("b", []byte(`{"gen":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.put("a", []byte(`{"gen":2}`)); err != nil { // replace
+		t.Fatal(err)
+	}
+
+	m2, err := newTenantManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m2.snapshot()
+	if len(got) != 2 || string(got["a"]) != `{"gen":2}` || string(got["b"]) != `{"gen":1}` {
+		t.Fatalf("reloaded entries = %q", got)
+	}
+
+	// A flipped payload byte is detected by the CRC, the file quarantined,
+	// and an empty manifest takes over — which then persists normally.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := newTenantManifest(path)
+	if err == nil {
+		t.Fatal("corrupt manifest loaded without complaint")
+	}
+	if n := len(m3.snapshot()); n != 0 {
+		t.Fatalf("corrupt manifest yielded %d entries, want 0", n)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt manifest not quarantined: %v", err)
+	}
+	if err := m3.put("c", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	m4, err := newTenantManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m4.snapshot(); len(got) != 1 || got["c"] == nil {
+		t.Fatalf("post-quarantine manifest = %q, want just c", got)
+	}
+}
+
+func TestManifestSaveFailpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.manifest")
+	m, err := newTenantManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resilience.SetFailpoint("serve.manifest.save", "error"); err != nil {
+		t.Fatal(err)
+	}
+	defer resilience.ClearFailpoints()
+	if err := m.put("a", []byte(`{}`)); !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("put under failpoint: %v, want injected fault", err)
+	}
+	// The entry is kept in memory (serving continues; durability degrades)
+	// and lands on disk with the next successful save.
+	resilience.ClearFailpoints()
+	if err := m.put("b", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := newTenantManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.snapshot(); len(got) != 2 {
+		t.Fatalf("after failpoint round: %q, want a and b", got)
+	}
+}
+
+// TestServeRestartRecovery is the crash-recovery contract: a server built
+// over the same manifest and artifact store as a dead one resumes serving
+// the dead one's tenants — bit-identical estimates — with zero client
+// onboarding.
+func TestServeRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "tenants.manifest")
+	store1, err := ce.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := serveWithOpts(t, store1, serveOptions{ManifestPath: manifest})
+	d := serveDataset(t, 1, 310)
+	onboardAndTrain(t, ts1, d, "Postgres")
+	q := rangeQueryBodies(d, 1)[0]
+	var before estimateResponse
+	if resp, data := postJSON(t, ts1, "/estimate", map[string]any{
+		"dataset": d.Name, "query": q}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-restart estimate: %d %s", resp.StatusCode, data)
+	} else if err := json.Unmarshal(data, &before); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close() // the "crash"
+
+	store2, err := ce.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := serveWithOpts(t, store2, serveOptions{ManifestPath: manifest})
+	// No /datasets, no /train: the manifest replay plus stored artifacts
+	// must be enough.
+	resp, data := postJSON(t, ts2, "/estimate", map[string]any{"dataset": d.Name, "query": q})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart estimate: %d %s", resp.StatusCode, data)
+	}
+	var after estimateResponse
+	if err := json.Unmarshal(data, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate != before.Estimate || after.Model != before.Model {
+		t.Fatalf("post-restart estimate %v (model %s) != pre-restart %v (model %s)",
+			after.Estimate, after.Model, before.Estimate, before.Model)
+	}
+}
+
+// fleetFor builds n live shards sharing one artifact store, with peer
+// URLs wired for fleet-proxy forwarding. wrap, when non-nil, intercepts
+// each shard's handler (index, inner) — tests use it to observe inbound
+// requests.
+func fleetFor(t *testing.T, n, replicas int, wrap func(int, http.Handler) http.Handler) []*httptest.Server {
+	t.Helper()
+	adv, _ := testAdvisor(t, 10)
+	storeDir := t.TempDir()
+	servers := make([]*httptest.Server, n)
+	peerList := ""
+	for i := range servers {
+		servers[i] = httptest.NewUnstartedServer(nil)
+		if i > 0 {
+			peerList += ","
+		}
+		peerList += "http://" + servers[i].Listener.Addr().String()
+	}
+	for i, ts := range servers {
+		sh, err := newSharder(i, n, replicas, peerList)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := ce.NewStore(storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h http.Handler = newServerOpts(adv, store, serveOptions{Shard: sh})
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ts.Config.Handler = h
+		ts.Start()
+		t.Cleanup(ts.Close)
+	}
+	return servers
+}
+
+// keyWithReplicas finds a dataset name whose replica set is exactly the
+// wanted shard sequence.
+func keyWithReplicas(t *testing.T, sh *sharder, want ...int) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("ds-%d", i)
+		set := sh.replicasOf(k)
+		match := len(set) == len(want)
+		for j := range want {
+			match = match && set[j] == want[j]
+		}
+		if match {
+			return k
+		}
+	}
+	t.Fatalf("no key with replica set %v", want)
+	return ""
+}
+
+// TestServeForwardDoesNotMutateInbound is the regression for the proxy
+// header bug: forwarding must clone the outbound request, never stamp
+// X-Shard-Forwarded (or any routing header) onto the inbound one.
+func TestServeForwardDoesNotMutateInbound(t *testing.T) {
+	sawForwarded := make([]bool, 2)
+	var mutated []string
+	servers := fleetFor(t, 2, 1, func(i int, inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			had := r.Header.Get("X-Shard-Forwarded") != ""
+			if had {
+				sawForwarded[i] = true
+			}
+			inner.ServeHTTP(w, r)
+			if !had && r.Header.Get("X-Shard-Forwarded") != "" {
+				mutated = append(mutated, fmt.Sprintf("shard %d: %s %s", i, r.Method, r.URL.Path))
+			}
+		})
+	})
+	sh0, _ := newSharder(0, 2, 1, "")
+	d := serveDataset(t, 1, 210)
+	d.Name = ownedKey(t, sh0, 1) // primary: shard 1; front door: shard 0
+
+	hdr := map[string]string{"X-Shard-Key": d.Name}
+	if resp, data := postJSONHeaders(t, servers[0], "/datasets", datasetBody(d), hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded onboard: %d %s", resp.StatusCode, data)
+	}
+	if resp, data := postJSONHeaders(t, servers[0], "/train", map[string]any{
+		"dataset": d.Name, "model": "Postgres", "queries": 30, "sample_rows": 80,
+	}, hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded train: %d %s", resp.StatusCode, data)
+	}
+	q := rangeQueryBodies(d, 1)[0]
+	if resp, data := postJSONHeaders(t, servers[0], "/estimate", map[string]any{
+		"dataset": d.Name, "query": q}, hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded estimate: %d %s", resp.StatusCode, data)
+	}
+	if !sawForwarded[1] {
+		t.Fatal("shard 1 never saw a forwarded request — forwarding path untested")
+	}
+	if len(mutated) > 0 {
+		t.Fatalf("proxy mutated inbound requests: %v", mutated)
+	}
+}
+
+// TestServeReadFailover kills a primary and checks reads fail over to the
+// replica (serving the primary's trained model via lazy stub discovery
+// over the shared store), then kills the replica too and checks the
+// forwarder answers a JSON 502 rather than hanging or panicking.
+func TestServeReadFailover(t *testing.T) {
+	servers := fleetFor(t, 3, 2, nil)
+	sh0, _ := newSharder(0, 3, 2, "")
+	// A dataset whose replica set is {1, 2}: shard 0 always fronts,
+	// never serves.
+	key := keyWithReplicas(t, sh0, 1, 2)
+	d := serveDataset(t, 1, 210)
+	d.Name = key
+	hdr := map[string]string{"X-Shard-Key": key}
+	if resp, data := postJSONHeaders(t, servers[0], "/datasets", datasetBody(d), hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("onboard via front: %d %s", resp.StatusCode, data)
+	}
+	if resp, data := postJSONHeaders(t, servers[0], "/train", map[string]any{
+		"dataset": key, "model": "Postgres", "queries": 30, "sample_rows": 80,
+	}, hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("train via front: %d %s", resp.StatusCode, data)
+	}
+	q := rangeQueryBodies(d, 1)[0]
+	est := map[string]any{"dataset": key, "model": "Postgres", "query": q}
+
+	servers[1].Close() // primary down
+	resp, data := postJSONHeaders(t, servers[0], "/estimate", est, hdr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate with primary down: %d %s — want replica failover", resp.StatusCode, data)
+	}
+
+	// /healthz on the front shard reports the fleet table.
+	hresp, err := http.Get(servers[0].URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Fleet struct {
+			Peers []peerHealthInfo `json:"peers"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if len(health.Fleet.Peers) != 3 {
+		t.Fatalf("fleet table lists %d peers, want 3", len(health.Fleet.Peers))
+	}
+
+	servers[2].Close() // replica down too: nothing can serve
+	resp, data = postJSONHeaders(t, servers[0], "/estimate", est, hdr)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("estimate with whole replica set down: %d %s — want 502", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("502 content-type %q, want JSON", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("502 body %q is not the JSON error form (%v)", data, err)
+	}
+}
+
+// TestServeReplicaReadWriteMatrix pins the role matrix on a live replica:
+// reads serve, direct writes 421, replicate-marked writes serve.
+func TestServeReplicaReadWriteMatrix(t *testing.T) {
+	servers := fleetFor(t, 3, 2, nil)
+	sh0, _ := newSharder(0, 3, 2, "")
+	key := keyWithReplicas(t, sh0, 1, 2)
+	d := serveDataset(t, 1, 210)
+	d.Name = key
+	hdr := map[string]string{"X-Shard-Key": key}
+	if resp, data := postJSONHeaders(t, servers[0], "/datasets", datasetBody(d), hdr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("onboard: %d %s", resp.StatusCode, data)
+	}
+
+	// Replica (shard 2) serves reads directly...
+	if resp, data := postJSONHeaders(t, servers[2], "/recommend", map[string]any{
+		"dataset": key, "wa": 0.5}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("read on replica: %d %s", resp.StatusCode, data)
+	}
+	// ...421s direct writes (it is not the primary; no routing header, so
+	// no forwarding either)...
+	if resp, _ := postJSONHeaders(t, servers[2], "/train", map[string]any{
+		"dataset": key, "model": "Postgres"}, nil); resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("direct write on replica: %d, want 421", resp.StatusCode)
+	}
+	// ...and a non-member 421s reads without the routing header.
+	if resp, _ := postJSONHeaders(t, servers[0], "/recommend", map[string]any{
+		"dataset": key, "wa": 0.5}, nil); resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("direct read on non-member: %d, want 421", resp.StatusCode)
+	}
+}

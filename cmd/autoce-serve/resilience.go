@@ -30,8 +30,13 @@ package main
 //     admission at the merged weight — a merged caller can therefore see
 //     the 503 the batch earned, never a wrong answer.
 //   - On a sharded instance (shard.go), dataset-addressed endpoints
-//     answer 421 Misdirected Request before admission when the dataset
-//     belongs to another shard.
+//     answer 421 Misdirected Request before admission when this shard
+//     cannot serve the dataset: reads 421 outside the replica set,
+//     writes everywhere but the primary. With peers configured the fleet
+//     proxy (proxy.go) forwards instead — reads with breaker/prober
+//     failover and bounded retries under PeerTimeout, writes once to the
+//     primary under the endpoint's own deadline — and a forward that
+//     exhausts every option answers a JSON 502.
 
 import (
 	"context"
@@ -72,9 +77,21 @@ type serveOptions struct {
 	// NoCoalesce disables merging concurrent single-query /estimate
 	// calls for the same served model into batched rides.
 	NoCoalesce bool
-	// Shard scopes this instance to the datasets it owns in a sharded
+	// Shard scopes this instance to the datasets it backs in a sharded
 	// fleet; nil serves everything (shard.go).
 	Shard *sharder
+	// PeerTimeout bounds each forwarded read attempt in the fleet proxy
+	// (default 5s, matching EstimateDeadline's default); write forwards
+	// use the target endpoint's own deadline.
+	PeerTimeout time.Duration
+	// ProbeInterval and ProbeTimeout tune the peer health prober (0 =
+	// the prober's defaults, 2s/1s).
+	ProbeInterval, ProbeTimeout time.Duration
+	// NoHedge disables the hedged second /estimate forward.
+	NoHedge bool
+	// ManifestPath is the crash-safe tenant manifest recording onboarded
+	// dataset payloads for restart recovery; empty disables it.
+	ManifestPath string
 }
 
 func defaultServeOptions() serveOptions {
@@ -100,6 +117,9 @@ func (o serveOptions) withDefaults() serveOptions {
 	}
 	if o.OnboardDeadline <= 0 {
 		o.OnboardDeadline = def.OnboardDeadline
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 5 * time.Second
 	}
 	return o
 }

@@ -44,7 +44,7 @@ func postJSONHeaders(t *testing.T, ts *httptest.Server, path string, body any, h
 
 func TestSharderRendezvousProperties(t *testing.T) {
 	mk := func(index, count int) *sharder {
-		sh, err := newSharder(index, count, "")
+		sh, err := newSharder(index, count, 2, "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,6 +81,25 @@ func TestSharderRendezvousProperties(t *testing.T) {
 			t.Fatalf("shard %d owns only %d/200 keys: %v", i, c, counts)
 		}
 	}
+	// Replica sets: R distinct members, primary first, agreed fleet-wide;
+	// backs() is membership.
+	for _, k := range keys {
+		set := fleet4[0].replicasOf(k)
+		if len(set) != 2 || set[0] != owners[k] || set[1] == set[0] {
+			t.Fatalf("replicasOf(%q) = %v, want 2 distinct shards led by owner %d", k, set, owners[k])
+		}
+		for _, sh := range fleet4 {
+			got := sh.replicasOf(k)
+			if got[0] != set[0] || got[1] != set[1] {
+				t.Fatalf("shard %d disagrees on replica set of %q: %v vs %v", sh.index, k, got, set)
+			}
+			inSet := sh.index == set[0] || sh.index == set[1]
+			if sh.backs(k) != inSet {
+				t.Fatalf("backs(%q) = %v on shard %d, replica set %v", k, sh.backs(k), sh.index, set)
+			}
+		}
+	}
+
 	// Minimal disruption: growing 4 -> 5 shards only moves keys onto the
 	// new shard; no key moves between surviving shards.
 	grown := mk(0, 5)
@@ -99,20 +118,32 @@ func TestSharderRendezvousProperties(t *testing.T) {
 }
 
 func TestSharderConfigValidation(t *testing.T) {
-	if sh, err := newSharder(0, 0, ""); err != nil || sh != nil {
+	if sh, err := newSharder(0, 0, 0, ""); err != nil || sh != nil {
 		t.Fatalf("unsharded config: (%v, %v)", sh, err)
 	}
-	if _, err := newSharder(2, 2, ""); err == nil {
+	// A 1-shard fleet runs unsharded (logged, not an error) — but pairing
+	// it with peer URLs is a misconfiguration, same as count 0.
+	if sh, err := newSharder(0, 1, 0, ""); err != nil || sh != nil {
+		t.Fatalf("single-shard config: (%v, %v), want unsharded nil", sh, err)
+	}
+	if _, err := newSharder(0, 1, 0, "http://a:1"); err == nil {
+		t.Fatal("peers with -shard-count 1 accepted")
+	}
+	if _, err := newSharder(2, 2, 0, ""); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
-	if _, err := newSharder(0, 2, "http://a:1"); err == nil {
+	if _, err := newSharder(0, 2, 0, "http://a:1"); err == nil {
 		t.Fatal("peer-count mismatch accepted")
 	}
-	if _, err := newSharder(0, 2, "http://a:1,not a url"); err == nil {
+	if _, err := newSharder(0, 2, 0, "http://a:1,not a url"); err == nil {
 		t.Fatal("malformed peer URL accepted")
 	}
-	if _, err := newSharder(0, 0, "http://a:1"); err == nil {
+	if _, err := newSharder(0, 0, 0, "http://a:1"); err == nil {
 		t.Fatal("peers without shard-count accepted")
+	}
+	// Replica-set size clamps to the fleet.
+	if sh, err := newSharder(0, 2, 5, ""); err != nil || sh.replicas != 2 {
+		t.Fatalf("replicas clamp: (%+v, %v)", sh, err)
 	}
 }
 
@@ -133,7 +164,9 @@ func ownedKey(t *testing.T, sh *sharder, want int) string {
 // 421 (naming the owner) for datasets it does not own, on every
 // dataset-addressed endpoint, and serves its own normally.
 func TestServeShardMisdirected421(t *testing.T) {
-	sh, err := newSharder(0, 2, "")
+	// replicas=1: the replica set is just the primary, so reads 421 off
+	// the owner too (replica-set read serving is covered in proxy_test.go).
+	sh, err := newSharder(0, 2, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,22 +201,25 @@ func TestServeShardMisdirected421(t *testing.T) {
 	}
 }
 
-// TestServeShardProxyForwarding runs two live shards with peer URLs and
-// verifies a request carrying X-Shard-Key lands on the owner no matter
-// which shard fronts it — and that a forwarded request is never forwarded
-// again (loop guard).
+// TestServeShardProxyForwarding runs two live shards with peer URLs over
+// a shared artifact store and verifies a request carrying X-Shard-Key
+// lands somewhere that can serve it no matter which shard fronts it —
+// writes on the primary, reads on any replica-set member (via the
+// replication fan-out and lazy stub discovery) — and that a forwarded
+// request is never forwarded again (loop guard).
 func TestServeShardProxyForwarding(t *testing.T) {
 	adv, _ := testAdvisor(t, 10)
 	// Listeners first: the peer URLs must exist before the sharders do.
 	ts0 := httptest.NewUnstartedServer(nil)
 	ts1 := httptest.NewUnstartedServer(nil)
 	peers := fmt.Sprintf("http://%s,http://%s", ts0.Listener.Addr(), ts1.Listener.Addr())
+	storeDir := t.TempDir() // shared: replicas serve lazy stubs from it
 	for i, ts := range []*httptest.Server{ts0, ts1} {
-		sh, err := newSharder(i, 2, peers)
+		sh, err := newSharder(i, 2, 2, peers)
 		if err != nil {
 			t.Fatal(err)
 		}
-		store, err := ce.NewStore(t.TempDir())
+		store, err := ce.NewStore(storeDir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,9 +227,11 @@ func TestServeShardProxyForwarding(t *testing.T) {
 		ts.Start()
 		defer ts.Close()
 	}
-	sh0, _ := newSharder(0, 2, peers)
+	sh0, _ := newSharder(0, 2, 2, peers)
 
-	// A dataset owned by shard 1, onboarded through shard 0's front door.
+	// A dataset whose primary is shard 1, onboarded through shard 0's
+	// front door (a write: forwarded to the primary, which fans it back
+	// out to shard 0 as a replica).
 	d := serveDataset(t, 1, 210)
 	d.Name = ownedKey(t, sh0, 1)
 	client := func(ts *httptest.Server, path string, body map[string]any, hdr map[string]string) (*http.Response, []byte) {
@@ -205,32 +243,36 @@ func TestServeShardProxyForwarding(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("forwarded onboard returned %d: %s", resp.StatusCode, data)
 	}
-	// The tenant lives on shard 1: direct access there succeeds …
-	if resp, data := client(ts1, "/train", map[string]any{
+	// Training routes to the primary through shard 0's front door too.
+	if resp, data := client(ts0, "/train", map[string]any{
 		"dataset": d.Name, "model": "Postgres", "queries": 30, "sample_rows": 80,
-	}, nil); resp.StatusCode != http.StatusOK {
-		t.Fatalf("train on owner returned %d: %s", resp.StatusCode, data)
+	}, map[string]string{"X-Shard-Key": d.Name}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded train returned %d: %s", resp.StatusCode, data)
 	}
-	// … and estimates route through either front door with the header.
+	// Estimates serve through either front door: shard 1 has the model
+	// live, shard 0 backs the dataset and lazily registers a stub for the
+	// primary's artifact from the shared store.
 	q := rangeQueryBodies(d, 1)[0]
 	for _, front := range []*httptest.Server{ts0, ts1} {
 		resp, data := client(front, "/estimate", map[string]any{
-			"dataset": d.Name, "query": q}, map[string]string{"X-Shard-Key": d.Name})
+			"dataset": d.Name, "model": "Postgres", "query": q},
+			map[string]string{"X-Shard-Key": d.Name})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("estimate via front returned %d: %s", resp.StatusCode, data)
 		}
 	}
-	// Without the header, the non-owner answers 421 with the owner's URL.
-	resp, _ = client(ts0, "/estimate", map[string]any{"dataset": d.Name, "query": q}, nil)
+	// Writes outside the primary answer 421 naming it: /train on shard 0
+	// without the routing header cannot be served there.
+	resp, _ = client(ts0, "/train", map[string]any{"dataset": d.Name, "model": "Postgres"}, nil)
 	if resp.StatusCode != http.StatusMisdirectedRequest {
-		t.Fatalf("headerless misdirected estimate returned %d", resp.StatusCode)
+		t.Fatalf("headerless misdirected train returned %d, want 421", resp.StatusCode)
 	}
 	if peer := resp.Header.Get("X-Shard-Peer"); peer == "" {
 		t.Fatal("421 carries no X-Shard-Peer hint")
 	}
 	// Loop guard: a request already marked forwarded must not bounce
 	// between shards; it dead-ends in a 421.
-	resp, _ = client(ts0, "/estimate", map[string]any{"dataset": d.Name, "query": q},
+	resp, _ = client(ts0, "/train", map[string]any{"dataset": d.Name, "model": "Postgres"},
 		map[string]string{"X-Shard-Key": d.Name, "X-Shard-Forwarded": "1"})
 	if resp.StatusCode != http.StatusMisdirectedRequest {
 		t.Fatalf("forwarded-loop request returned %d, want 421", resp.StatusCode)

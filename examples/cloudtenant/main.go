@@ -27,6 +27,11 @@
 // estimate-batch) as p50/p90/p99/max from internal/latency histograms.
 //
 // Run with: go run ./examples/cloudtenant [-tenants 500 -model-budget 64]
+//
+// -chaos switches to the fleet-kill drill (chaos.go): a 3-shard fleet
+// with replica sets, one shard SIGKILLed and restarted mid-storm, gated
+// on zero wrong-tenant answers, a bounded client-visible error rate, and
+// the killed shard rejoining from its tenant manifest.
 package main
 
 import (
@@ -91,6 +96,10 @@ func (h *hists) merge(endpoint string, rec *latency.Histogram) {
 
 func main() {
 	flag.Parse()
+	run := run
+	if *chaosMode {
+		run = runChaos
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudtenant: FAIL:", err)
 		os.Exit(1)
@@ -320,6 +329,18 @@ func (sp *serverProc) stop() error {
 	return sp.checkLog()
 }
 
+// kill terminates the server without grace — the chaos drill's simulated
+// crash. The process cannot exit cleanly, so stop()'s clean-exit check is
+// skipped; checkLog still applies to whatever it logged while alive.
+func (sp *serverProc) kill() {
+	if sp.stopped {
+		return
+	}
+	sp.stopped = true
+	sp.cmd.Process.Kill()
+	sp.cmd.Wait()
+}
+
 func (sp *serverProc) checkLog() error {
 	if bytes.Contains(sp.log.Bytes(), []byte("DATA RACE")) {
 		return fmt.Errorf("server log reports a data race:\n%s", tail(sp.log))
@@ -409,12 +430,27 @@ func datasetBody(d *dataset.Dataset) map[string]any {
 // server is allowed to push back under load, just not to answer wrongly.
 // The returned status is the final one; body is decoded into out when 200.
 func (sp *serverProc) post(path string, body any, out any, retries int) (int, error) {
+	return sp.postKey(path, "", body, out, retries)
+}
+
+// postKey is post with the fleet routing header: chaos mode stamps every
+// request with its tenant key so any shard can front it (X-Shard-Key
+// requests are forwarded to a shard that can serve them).
+func (sp *serverProc) postKey(path, key string, body any, out any, retries int) (int, error) {
 	enc, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
 	for attempt := 0; ; attempt++ {
-		resp, err := sp.client.Post(sp.base+path, "application/json", bytes.NewReader(enc))
+		req, err := http.NewRequest(http.MethodPost, sp.base+path, bytes.NewReader(enc))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-Shard-Key", key)
+		}
+		resp, err := sp.client.Do(req)
 		if err != nil {
 			return 0, err
 		}

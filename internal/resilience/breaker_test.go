@@ -1,0 +1,174 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(clk *fakeClock) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Failures: 3,
+		Window:   10 * time.Second,
+		Cooldown: 2 * time.Second,
+		Now:      clk.now,
+	})
+}
+
+var errPeer = errors.New("peer: connection refused")
+
+// TestBreakerLifecycle drives the full closed → open → half-open → closed
+// cycle (and the half-open → open regression) as a table of steps under an
+// injected clock.
+func TestBreakerLifecycle(t *testing.T) {
+	type step struct {
+		name      string
+		advance   time.Duration
+		allow     *bool // if set, call Allow and expect this
+		record    error // if allow not set, call Record with this
+		doRecord  bool
+		wantState BreakerState
+	}
+	yes, no := true, false
+	steps := []step{
+		{name: "closed allows", allow: &yes, wantState: BreakerClosed},
+		{name: "failure 1", record: errPeer, doRecord: true, wantState: BreakerClosed},
+		{name: "failure 2", record: errPeer, doRecord: true, wantState: BreakerClosed},
+		{name: "still allows below threshold", allow: &yes, wantState: BreakerClosed},
+		{name: "failure 3 opens", record: errPeer, doRecord: true, wantState: BreakerOpen},
+		{name: "open refuses", allow: &no, wantState: BreakerOpen},
+		{name: "open refuses mid-cooldown", advance: time.Second, allow: &no, wantState: BreakerOpen},
+		{name: "cooldown elapses: half-open probe admitted", advance: 1500 * time.Millisecond, allow: &yes, wantState: BreakerHalfOpen},
+		{name: "second probe refused", allow: &no, wantState: BreakerHalfOpen},
+		{name: "probe failure reopens", record: errPeer, doRecord: true, wantState: BreakerOpen},
+		{name: "reopened refuses", allow: &no, wantState: BreakerOpen},
+		{name: "second cooldown: probe admitted again", advance: 2500 * time.Millisecond, allow: &yes, wantState: BreakerHalfOpen},
+		{name: "probe success closes", record: nil, doRecord: true, wantState: BreakerClosed},
+		{name: "closed again allows", allow: &yes, wantState: BreakerClosed},
+		// The half-open success cleared the window: three fresh failures
+		// are needed to open again, not one.
+		{name: "post-close failure 1", record: errPeer, doRecord: true, wantState: BreakerClosed},
+		{name: "post-close failure 2", record: errPeer, doRecord: true, wantState: BreakerClosed},
+		{name: "post-close failure 3 opens", record: errPeer, doRecord: true, wantState: BreakerOpen},
+	}
+
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for _, s := range steps {
+		clk.advance(s.advance)
+		if s.allow != nil {
+			if got := b.Allow(); got != *s.allow {
+				t.Fatalf("%s: Allow() = %v, want %v", s.name, got, *s.allow)
+			}
+		} else if s.doRecord || s.record != nil {
+			b.Record(s.record)
+		}
+		if got := b.State(); got != s.wantState {
+			t.Fatalf("%s: state = %v, want %v", s.name, got, s.wantState)
+		}
+	}
+}
+
+// TestBreakerWindowExpiry checks that failures spread wider than Window
+// never open the breaker: old failures are pruned before counting.
+func TestBreakerWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 10; i++ {
+		b.Record(errPeer)
+		clk.advance(6 * time.Second) // 2 failures per 10s window, threshold is 3
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after spread failure %d: state = %v, want closed", i+1, got)
+		}
+	}
+	// Three failures inside one window still open it.
+	b.Record(errPeer)
+	b.Record(errPeer)
+	b.Record(errPeer)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after burst: state = %v, want open", got)
+	}
+}
+
+// TestBreakerOpenIgnoresLateResults checks that outcomes recorded while
+// open (stragglers from attempts admitted before the trip) neither extend
+// the cooldown nor close the breaker.
+func TestBreakerOpenIgnoresLateResults(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Record(errPeer)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	clk.advance(time.Second)
+	b.Record(nil)     // late success: must not close
+	b.Record(errPeer) // late failure: must not reset openedAt
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after late results: state = %v, want open", got)
+	}
+	// Cooldown measured from the original trip, not the late failure.
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown should have elapsed from the original trip time")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeBudget checks the configured number of probes is
+// admitted while half-open and no more.
+func TestBreakerHalfOpenProbeBudget(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Failures: 1, Window: 10 * time.Second, Cooldown: time.Second,
+		HalfOpenProbes: 2, Now: clk.now,
+	})
+	b.Record(errPeer)
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("want 2 half-open probes admitted")
+	}
+	if b.Allow() {
+		t.Fatal("third probe admitted beyond HalfOpenProbes=2")
+	}
+}
+
+// TestBreakerSnapshot checks the diagnostics surface: consecutive failure
+// count and last error text.
+func TestBreakerSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(clk)
+	b.Record(errPeer)
+	b.Record(errPeer)
+	state, consec, lastErr := b.Snapshot()
+	if state != BreakerClosed || consec != 2 || lastErr != errPeer.Error() {
+		t.Fatalf("Snapshot() = (%v, %d, %q), want (closed, 2, %q)", state, consec, lastErr, errPeer.Error())
+	}
+	b.Record(nil)
+	if _, consec, lastErr := b.Snapshot(); consec != 0 || lastErr != "" {
+		t.Fatalf("after success: consec=%d lastErr=%q, want 0 and empty", consec, lastErr)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

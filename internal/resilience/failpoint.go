@@ -35,11 +35,13 @@ const FailpointEnv = "AUTOCE_FAILPOINTS"
 // documented here) and flags stale entries with no call site, so an
 // injection spec can never silently name nothing.
 var FailpointSites = []string{
-	"ce.pglike.estimate", // pglike inference (error mode ignored there; panic/sleep fire)
-	"ce.pglike.fit",      // pglike training
-	"ce.store.load",      // artifact decode path
-	"ce.store.save",      // artifact persist path
-	"serve.onboard",      // /datasets onboarding, post-decode pre-state-change
+	"ce.pglike.estimate",  // pglike inference (error mode ignored there; panic/sleep fire)
+	"ce.pglike.fit",       // pglike training
+	"ce.store.load",       // artifact decode path
+	"ce.store.save",       // artifact persist path
+	"serve.manifest.save", // tenant-manifest persist path (restart recovery degrades, onboarding proceeds)
+	"serve.onboard",       // /datasets onboarding, post-decode pre-state-change
+	"serve.peer.forward",  // fleet-proxy peer forward (error = peer down, sleep = slow peer)
 }
 
 // ErrInjected is the error returned by error-mode failpoints; injection

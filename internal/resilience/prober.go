@@ -1,0 +1,151 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// ProbeFunc checks one peer's health (the fleet proxy points it at the
+// peer's /healthz); nil means healthy.
+type ProbeFunc func(ctx context.Context, peer int) error
+
+// ProberConfig tunes a Prober. Zero fields fall back to defaults.
+type ProberConfig struct {
+	// Peers is the fleet size; peer indexes run [0, Peers).
+	Peers int
+	// Self, when >= 0, is this instance's own index: it is never probed
+	// and always reported up.
+	Self int
+	// Interval spaces probe rounds (default 2s); Timeout bounds each
+	// individual probe (default 1s).
+	Interval, Timeout time.Duration
+	// Rise is how many consecutive successes flip a down peer up
+	// (default 1); Fall how many consecutive failures flip an up peer
+	// down (default 2). The asymmetry biases toward keeping traffic
+	// flowing: one blip does not eject a peer, one good probe readmits it.
+	Rise, Fall int
+	// Probe performs the check. Required.
+	Probe ProbeFunc
+}
+
+func (c ProberConfig) withDefaults() ProberConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.Rise <= 0 {
+		c.Rise = 1
+	}
+	if c.Fall <= 0 {
+		c.Fall = 2
+	}
+	return c
+}
+
+// PeerHealth is one peer's probed state.
+type PeerHealth struct {
+	Up bool `json:"up"`
+	// ConsecOK / ConsecFail count the current streak (only one is
+	// nonzero); LastErr is the most recent probe failure's text.
+	ConsecOK   int       `json:"consec_ok,omitempty"`
+	ConsecFail int       `json:"consec_fail,omitempty"`
+	LastErr    string    `json:"last_err,omitempty"`
+	Checked    time.Time `json:"checked,omitempty"`
+}
+
+// FleetHealth is an immutable point-in-time view of every peer, published
+// atomically after each probe round.
+type FleetHealth struct {
+	Peers []PeerHealth `json:"peers"`
+	Round int64        `json:"round"` // completed probe rounds
+}
+
+// Up reports whether peer is currently considered healthy. Peers outside
+// the view (or a nil view) default to up — the prober is an accelerator
+// for failure detection, never a gate that can wedge a fleet with no
+// probe history.
+func (fh *FleetHealth) Up(peer int) bool {
+	if fh == nil || peer < 0 || peer >= len(fh.Peers) {
+		return true
+	}
+	return fh.Peers[peer].Up
+}
+
+// Prober polls every peer's health on an interval and folds the outcomes
+// through rise/fall thresholds into an atomically-published FleetHealth
+// view. Readers (the fleet proxy's failover decision, /healthz) load the
+// view wait-free; only the probe loop writes.
+type Prober struct {
+	cfg  ProberConfig
+	view atomic.Pointer[FleetHealth]
+}
+
+// NewProber builds a prober whose initial view reports every peer up
+// (optimistic: with no evidence, route normally).
+func NewProber(cfg ProberConfig) *Prober {
+	p := &Prober{cfg: cfg.withDefaults()}
+	init := &FleetHealth{Peers: make([]PeerHealth, p.cfg.Peers)}
+	for i := range init.Peers {
+		init.Peers[i].Up = true
+	}
+	p.view.Store(init)
+	return p
+}
+
+// Health returns the latest published view.
+func (p *Prober) Health() *FleetHealth { return p.view.Load() }
+
+// Step runs one probe round and publishes the successor view. Exposed so
+// tests (and one-shot diagnostics) can drive rounds deterministically
+// without the timer loop.
+func (p *Prober) Step(ctx context.Context) {
+	prev := p.view.Load()
+	next := &FleetHealth{Peers: make([]PeerHealth, p.cfg.Peers), Round: prev.Round + 1}
+	now := time.Now()
+	for i := 0; i < p.cfg.Peers; i++ {
+		ph := prev.Peers[i]
+		if i == p.cfg.Self {
+			next.Peers[i] = PeerHealth{Up: true, Checked: now}
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+		err := p.cfg.Probe(pctx, i)
+		cancel()
+		ph.Checked = now
+		if err == nil {
+			ph.ConsecOK++
+			ph.ConsecFail = 0
+			ph.LastErr = ""
+			if !ph.Up && ph.ConsecOK >= p.cfg.Rise {
+				ph.Up = true
+			}
+		} else {
+			ph.ConsecFail++
+			ph.ConsecOK = 0
+			ph.LastErr = err.Error()
+			if ph.Up && ph.ConsecFail >= p.cfg.Fall {
+				ph.Up = false
+			}
+		}
+		next.Peers[i] = ph
+	}
+	p.view.Store(next)
+}
+
+// Run probes on the configured interval until ctx is cancelled. Call it
+// on its own goroutine.
+func (p *Prober) Run(ctx context.Context) {
+	tick := time.NewTicker(p.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.Step(ctx)
+		}
+	}
+}

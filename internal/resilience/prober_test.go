@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// scriptedProbe returns a ProbeFunc reading per-peer outcome scripts: each
+// call pops the next outcome for that peer (sticking on the last).
+func scriptedProbe(scripts map[int][]error) ProbeFunc {
+	idx := map[int]int{}
+	return func(_ context.Context, peer int) error {
+		s := scripts[peer]
+		if len(s) == 0 {
+			return nil
+		}
+		i := idx[peer]
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		idx[peer]++
+		return s[i]
+	}
+}
+
+var errProbe = errors.New("probe: 503")
+
+// TestProberRiseFall drives rounds deterministically through Step and
+// checks the rise/fall thresholds: 2 consecutive failures flip a peer
+// down, 1 success readmits it.
+func TestProberRiseFall(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Peers: 3, Self: 0, Rise: 1, Fall: 2,
+		Probe: scriptedProbe(map[int][]error{
+			1: {errProbe, errProbe, errProbe, nil, nil},
+			2: {nil},
+		}),
+	})
+
+	// Initial view is optimistic: everyone up, no probe history.
+	for i := 0; i < 3; i++ {
+		if !p.Health().Up(i) {
+			t.Fatalf("initial view: peer %d down, want up", i)
+		}
+	}
+
+	ctx := context.Background()
+	p.Step(ctx) // peer 1: 1 failure — below Fall, still up
+	if h := p.Health(); !h.Up(1) || h.Peers[1].ConsecFail != 1 {
+		t.Fatalf("round 1: up=%v consec_fail=%d, want up with 1 failure", h.Up(1), h.Peers[1].ConsecFail)
+	}
+	p.Step(ctx) // peer 1: 2nd failure — hits Fall, down
+	if h := p.Health(); h.Up(1) {
+		t.Fatal("round 2: peer 1 still up after Fall consecutive failures")
+	} else if h.Peers[1].LastErr != errProbe.Error() {
+		t.Fatalf("round 2: last_err = %q, want %q", h.Peers[1].LastErr, errProbe.Error())
+	}
+	p.Step(ctx) // peer 1: 3rd failure — stays down
+	if p.Health().Up(1) {
+		t.Fatal("round 3: peer 1 flapped up while still failing")
+	}
+	p.Step(ctx) // peer 1: success — Rise=1 readmits immediately
+	if h := p.Health(); !h.Up(1) || h.Peers[1].LastErr != "" {
+		t.Fatalf("round 4: up=%v last_err=%q, want readmitted with error cleared", h.Up(1), h.Peers[1].LastErr)
+	}
+
+	// Peer 2 was healthy throughout; self (0) is never probed and always up.
+	h := p.Health()
+	if !h.Up(2) || !h.Up(0) {
+		t.Fatalf("peer2 up=%v self up=%v, want both up", h.Up(2), h.Up(0))
+	}
+	if h.Round != 4 {
+		t.Fatalf("round = %d, want 4", h.Round)
+	}
+}
+
+// TestProberRiseThreshold checks Rise > 1: a down peer needs that many
+// consecutive successes before readmission.
+func TestProberRiseThreshold(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Peers: 2, Self: 0, Rise: 3, Fall: 1,
+		Probe: scriptedProbe(map[int][]error{
+			1: {errProbe, nil, nil, errProbe, nil, nil, nil},
+		}),
+	})
+	ctx := context.Background()
+	p.Step(ctx) // fail → down (Fall=1)
+	if p.Health().Up(1) {
+		t.Fatal("peer 1 up after failure with Fall=1")
+	}
+	p.Step(ctx) // ok (1/3)
+	p.Step(ctx) // ok (2/3)
+	if p.Health().Up(1) {
+		t.Fatal("peer 1 readmitted below Rise threshold")
+	}
+	p.Step(ctx) // fail — streak resets
+	p.Step(ctx) // ok (1/3)
+	p.Step(ctx) // ok (2/3)
+	if p.Health().Up(1) {
+		t.Fatal("peer 1 readmitted though the failure reset the success streak")
+	}
+	p.Step(ctx) // ok (3/3) → up
+	if !p.Health().Up(1) {
+		t.Fatal("peer 1 still down after Rise consecutive successes")
+	}
+}
+
+// TestFleetHealthFailOpen pins the fail-open contract: a nil view and
+// out-of-range peers read as up, so the prober can only accelerate failure
+// detection, never wedge routing.
+func TestFleetHealthFailOpen(t *testing.T) {
+	var fh *FleetHealth
+	if !fh.Up(0) {
+		t.Fatal("nil view: want up")
+	}
+	fh = &FleetHealth{Peers: []PeerHealth{{Up: false}}}
+	if fh.Up(0) {
+		t.Fatal("explicit down peer read as up")
+	}
+	if !fh.Up(-1) || !fh.Up(5) {
+		t.Fatal("out-of-range peers: want up")
+	}
+}
+
+// TestProberViewImmutable checks each Step publishes a fresh view rather
+// than mutating the one readers may hold.
+func TestProberViewImmutable(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Peers: 2, Self: -1, Rise: 1, Fall: 1,
+		Probe: scriptedProbe(map[int][]error{0: {errProbe}, 1: {errProbe}}),
+	})
+	before := p.Health()
+	p.Step(context.Background())
+	if !before.Up(0) || !before.Up(1) {
+		t.Fatal("Step mutated a previously-published view")
+	}
+	if after := p.Health(); after == before || after.Up(0) {
+		t.Fatal("Step did not publish a successor view")
+	}
+}
+
+// TestProberRunStops checks the ticker loop exits on cancellation.
+func TestProberRunStops(t *testing.T) {
+	p := NewProber(ProberConfig{
+		Peers: 1, Self: -1, Interval: time.Millisecond,
+		Probe: func(context.Context, int) error { return nil },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { p.Run(ctx); close(done) }()
+	for p.Health().Round == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop after cancellation")
+	}
+}

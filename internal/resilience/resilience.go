@@ -1,10 +1,10 @@
 // Package resilience is the serving stack's fault-tolerance substrate:
-// admission control, panic isolation, and deterministic fault injection.
-// It depends only on the standard library so any layer — the HTTP
-// front-end, the artifact store, individual estimators — can use it
-// without import cycles.
+// admission control, panic isolation, fleet-level fault tolerance, and
+// deterministic fault injection. It depends only on the standard library
+// so any layer — the HTTP front-end, the artifact store, individual
+// estimators — can use it without import cycles.
 //
-// The package provides four facilities:
+// Process-level facilities (PR 6):
 //
 //   - Semaphore: a weighted FIFO counting semaphore (the admission
 //     primitive; acquisition is context-bounded, so a request's deadline
@@ -18,9 +18,21 @@
 //     a typed *PanicError so one faulting model quarantines instead of
 //     killing the process.
 //   - Failpoint: an env-gated fault-injection hook compiled into the
-//     store/onboarding/estimator paths, driving deterministic
+//     store/onboarding/estimator/proxy paths, driving deterministic
 //     fault-injection and soak tests (see the AUTOCE_FAILPOINTS format in
 //     failpoint.go).
+//
+// Fleet-level facilities (used by the autoce-serve shard proxy):
+//
+//   - Breaker: a per-peer circuit breaker — closed/open/half-open over a
+//     sliding failure window with an injected clock, so a crashed shard
+//     costs one failure window, not a timeout per request.
+//   - Retry: a bounded retry policy with capped decorrelated-jitter
+//     backoff for idempotent read forwards; exhausting the budget returns
+//     the last upstream error, never a synthetic policy error.
+//   - Prober: interval health probing with rise/fall thresholds into an
+//     atomically-published FleetHealth view, read wait-free by the
+//     failover path and /healthz.
 package resilience
 
 import (

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Retry is a bounded retry policy with capped decorrelated-jitter
+// backoff. It is built for idempotent work only — the fleet proxy applies
+// it to read forwards (/estimate, /recommend, /drift, GETs) and never to
+// /train or /datasets, whose replays would not be safe.
+//
+// The backoff follows the decorrelated-jitter scheme: each delay is drawn
+// uniformly from [Base, prev*3], capped at Cap, so concurrent retriers
+// decorrelate instead of thundering in lockstep.
+type Retry struct {
+	// Attempts is the per-request budget: the total number of tries,
+	// including the first (default 3). Exhausting the budget returns the
+	// last error the attempt itself produced — never a synthetic
+	// "budget exhausted" error that would mask the real failure.
+	Attempts int
+	// Base is the backoff floor (default 25ms); Cap bounds every delay
+	// (default 1s).
+	Base, Cap time.Duration
+	// Sleep waits between attempts; nil uses a timer that aborts on
+	// context cancellation. Tests inject an instant clock here.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand draws the jitter in [0,1); nil uses math/rand/v2. Tests inject
+	// a fixed sequence for deterministic delays.
+	Rand func() float64
+}
+
+func (r Retry) withDefaults() Retry {
+	if r.Attempts <= 0 {
+		r.Attempts = 3
+	}
+	if r.Base <= 0 {
+		r.Base = 25 * time.Millisecond
+	}
+	if r.Cap <= 0 {
+		r.Cap = time.Second
+	}
+	if r.Sleep == nil {
+		r.Sleep = sleepCtx
+	}
+	if r.Rand == nil {
+		r.Rand = rand.Float64
+	}
+	return r
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// Backoff returns the delay to wait after a failed attempt, given the
+// previous delay (pass 0 before the first retry): uniform in
+// [Base, prev*3], capped at Cap.
+func (r Retry) Backoff(prev time.Duration) time.Duration {
+	r = r.withDefaults()
+	hi := prev * 3
+	if hi < r.Base {
+		hi = r.Base
+	}
+	if hi > r.Cap {
+		hi = r.Cap
+	}
+	d := r.Base + time.Duration(r.Rand()*float64(hi-r.Base))
+	if d > r.Cap {
+		d = r.Cap
+	}
+	return d
+}
+
+// Do runs fn until it succeeds, the attempt budget is exhausted, or ctx
+// is cancelled, backing off between attempts. fn receives the attempt
+// number (0-based) so callers can rotate across failover targets. The
+// returned error is always the last error fn produced — budget
+// exhaustion and mid-backoff cancellation both surface the upstream
+// failure, not a policy error (an operator debugging a 502 needs the
+// peer's error, not "retries exhausted").
+func (r Retry) Do(ctx context.Context, fn func(attempt int) error) error {
+	r = r.withDefaults()
+	var err error
+	delay := time.Duration(0)
+	for attempt := 0; attempt < r.Attempts; attempt++ {
+		if attempt > 0 {
+			delay = r.Backoff(delay)
+			if r.Sleep(ctx, delay) != nil {
+				return err // cancelled mid-backoff: last upstream error
+			}
+		}
+		if err = fn(attempt); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
