@@ -212,7 +212,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("loaded advisor from %s (%d labeled datasets in the RCS, k=%d)",
-		*advisorPath, len(adv.RCS()), adv.Serving().K())
+		*advisorPath, adv.NumSamples(), adv.Serving().K())
 
 	var store *ce.Store
 	if *modelDir != "" {
@@ -483,7 +483,7 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		resp.ModelName = name
 	}
 	for _, ni := range rec.Neighbors {
-		resp.Neighbors = append(resp.Neighbors, neighborInfo{Index: ni, Name: snap.RCS()[ni].Name})
+		resp.Neighbors = append(resp.Neighbors, neighborInfo{Index: ni, Name: snap.SampleAt(ni).Name})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -534,7 +534,7 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	if g == nil {
 		return
 	}
-	dim := len(snap.RCS()[0].Sa)
+	dim := len(snap.SampleAt(0).Sa)
 	if len(req.Sa) != dim || len(req.Se) != dim {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("labels have %d/%d scores, advisor's models need %d", len(req.Sa), len(req.Se), dim))
@@ -556,7 +556,7 @@ func (s *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	//autoce:ignore snapshotonce -- deliberate re-load: OnlineAdapt republishes, and the response must describe the post-adapt snapshot
 	adapted := s.adv.Serving()
 	writeJSON(w, http.StatusOK, adaptResponse{
-		RCSSize:        len(adapted.RCS()),
+		RCSSize:        adapted.NumSamples(),
 		DriftThreshold: adapted.DriftThreshold(),
 	})
 }
@@ -573,7 +573,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]any{
 		"ok":             true,
-		"rcs_size":       len(s.adv.RCS()),
+		"rcs_size":       s.adv.NumSamples(),
 		"datasets":       len(tenants),
 		"trained_models": trained,
 		"model_cache":    s.cache.stats(),

@@ -53,7 +53,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("Loaded advisor from %s (%d labeled datasets in the RCS).\n",
-			*loadFrom, len(adv.RCS()))
+			*loadFrom, adv.NumSamples())
 	} else {
 		fmt.Printf("Generating and labeling %d training datasets (%d queries each)...\n", *trainN, *queries)
 		t0 := time.Now()

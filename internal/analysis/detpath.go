@@ -31,6 +31,8 @@ var detpathScope = []string{
 	"internal/ce",
 	"internal/experiments",
 	"internal/testbed",
+	"internal/ann",
+	"internal/core",
 }
 
 func init() {

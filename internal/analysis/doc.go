@@ -19,12 +19,14 @@
 //	              (deferred, or called before each return), or eviction
 //	              wedges permanently.
 //	detpath       Determinism-critical packages (internal/nn,
-//	              internal/gnn, the internal/ce trainers, and the corpus
+//	              internal/gnn, the internal/ce trainers, the corpus
 //	              labeling paths in internal/experiments and
-//	              internal/testbed) must not call time.Now, draw from the
-//	              global math/rand state, or let map iteration order feed
-//	              computation or output order — byte-identical labels and
-//	              replayable tapes are load-bearing.
+//	              internal/testbed, and the serving core with its ANN
+//	              index — internal/core and internal/ann) must not call
+//	              time.Now, draw from the global math/rand state, or let
+//	              map iteration order feed computation or output order —
+//	              byte-identical labels, replayable tapes, and
+//	              bit-reproducible index builds are load-bearing.
 //	ctxloop       A while-shaped loop (`for {` or `for cond {`) in a
 //	              function that takes a context.Context must reference
 //	              the context (ctx.Err, ctx.Done, a Canceled check, or

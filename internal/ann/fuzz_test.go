@@ -1,0 +1,60 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzANNIndexRoundTrip pins two properties of the persistence envelope
+// over fuzzed index shapes: (1) a clean marshal/unmarshal/attach round
+// trip returns bit-identical search results, and (2) any single-byte
+// corruption of the envelope fails loudly in Unmarshal — never an index
+// that would silently return wrong neighbors (CRC-32C is linear, so a
+// non-zero xor at any position must change the checksum).
+func FuzzANNIndexRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(300), uint8(8), uint16(7), byte(0x01))
+	f.Add(int64(42), uint16(64), uint8(3), uint16(900), byte(0x80))
+	f.Add(int64(7), uint16(500), uint8(16), uint16(0), byte(0x00))
+	f.Fuzz(func(t *testing.T, seed int64, rawN uint16, rawDim uint8, pos uint16, xor byte) {
+		n := int(rawN)%500 + 20
+		dim := int(rawDim)%16 + 2
+		rng := rand.New(rand.NewSource(seed))
+		vecs := clusteredVecs(rng, n, dim, rng.Intn(8)+2, rng.Intn(n/4), 0.3)
+		ix := Build(vecs, Params{MinIndexSize: 1, Nlist: rng.Intn(24) + 4})
+		if ix == nil {
+			t.Fatalf("Build(n=%d) returned nil at MinIndexSize 1", n)
+		}
+		blob, err := ix.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rx, err := Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("clean round trip failed: %v", err)
+		}
+		if err := rx.Attach(vecs); err != nil {
+			t.Fatalf("clean attach failed: %v", err)
+		}
+		for qi := 0; qi < 5; qi++ {
+			q := vecs[rng.Intn(n)]
+			a, b := ix.Search(q, 3), rx.Search(q, 3)
+			if len(a) != len(b) {
+				t.Fatalf("round trip changed result count: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round trip changed result %d: %+v != %+v", i, a[i], b[i])
+				}
+			}
+		}
+
+		if xor != 0 {
+			bad := append([]byte(nil), blob...)
+			bad[int(pos)%len(bad)] ^= xor
+			if _, err := Unmarshal(bad); err == nil {
+				t.Fatalf("corrupt byte at %d (xor %02x) decoded silently", int(pos)%len(blob), xor)
+			}
+		}
+	})
+}

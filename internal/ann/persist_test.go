@@ -1,0 +1,150 @@
+package ann
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMarshalRoundTrip pins that a persisted index, re-attached to the
+// same vectors, is bit-identical in structure and search results.
+func TestMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vecs := clusteredVecs(rng, 5000, 16, 30, 50, 0.25)
+	ix := Build(vecs, Params{MinIndexSize: 1})
+
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.vecs != nil {
+		t.Fatal("decoded index is attached")
+	}
+	if err := rx.Attach(vecs); err != nil {
+		t.Fatal(err)
+	}
+	if rx.Size() != ix.Size() || rx.Nlist() != ix.Nlist() || rx.Appended() != ix.Appended() {
+		t.Fatalf("decoded shape %d/%d/%d != %d/%d/%d",
+			rx.Size(), rx.Nlist(), rx.Appended(), ix.Size(), ix.Nlist(), ix.Appended())
+	}
+	for qi := 0; qi < 30; qi++ {
+		q := vecs[rng.Intn(len(vecs))]
+		a, b := ix.Search(q, 5), rx.Search(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d result %d: %+v != %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestAttachValidates pins the strict re-binding: wrong count or
+// dimensionality is an error, not a silent rebuild.
+func TestAttachValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	vecs := clusteredVecs(rng, 1000, 8, 10, 0, 0.25)
+	ix := Build(vecs, Params{MinIndexSize: 1})
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.Attach(vecs[:999]); err == nil {
+		t.Fatal("Attach accepted a short vector set")
+	}
+	if err := rx.Attach(clusteredVecs(rng, 1000, 4, 10, 0, 0.25)); err == nil {
+		t.Fatal("Attach accepted a dim mismatch")
+	}
+	if err := rx.Attach(vecs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalRejectsCorruption walks corruption through every region
+// of the envelope — magic, checksum, gob payload, truncation — and
+// requires a loud error each time.
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	vecs := clusteredVecs(rng, 1000, 8, 10, 0, 0.25)
+	ix := Build(vecs, Params{MinIndexSize: 1})
+	blob, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	for _, cut := range []int{1, len(indexMagic), len(indexMagic) + 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := Unmarshal(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	for _, pos := range []int{0, 5, len(indexMagic), len(indexMagic) + 2, len(indexMagic) + 7, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 0x40
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("bit flip at %d decoded silently", pos)
+		}
+	}
+}
+
+// TestValidateRejectsInvariantBreaks corrupts the decoded state (with a
+// recomputed checksum, so only the structural validation can catch it)
+// and requires each break to fail.
+func TestValidateRejectsInvariantBreaks(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vecs := clusteredVecs(rng, 500, 8, 5, 0, 0.25)
+	ix := Build(vecs, Params{MinIndexSize: 1})
+
+	breakers := []struct {
+		name  string
+		mutil func(st *indexState)
+	}{
+		{"dup id", func(st *indexState) { st.Lists[0] = append(st.Lists[0], st.Lists[len(st.Lists)-1][0]) }},
+		{"out of range", func(st *indexState) { st.Lists[0][0] = int32(st.N) }},
+		{"missing id", func(st *indexState) { st.Lists[0] = st.Lists[0][1:] }},
+		{"count drift", func(st *indexState) { st.Appended = 7 }},
+		{"nan centroid", func(st *indexState) { st.Centroids[0][0] = nan() }},
+		{"list/centroid mismatch", func(st *indexState) { st.Centroids = st.Centroids[1:] }},
+		{"zero params", func(st *indexState) { st.Params = Params{} }},
+	}
+	for _, b := range breakers {
+		st := indexState{
+			Params: ix.params, Dim: ix.dim, N: ix.n, Built: ix.built,
+			Appended:  ix.appended,
+			Centroids: deepCopyF64(ix.centroids),
+			Lists:     deepCopyI32(ix.lists),
+		}
+		b.mutil(&st)
+		if err := st.validate(); err == nil {
+			t.Errorf("%s: validate passed", b.name)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+
+func deepCopyF64(in [][]float64) [][]float64 {
+	out := make([][]float64, len(in))
+	for i := range in {
+		out[i] = append([]float64(nil), in[i]...)
+	}
+	return out
+}
+
+func deepCopyI32(in [][]int32) [][]int32 {
+	out := make([][]int32, len(in))
+	for i := range in {
+		out[i] = append([]int32(nil), in[i]...)
+	}
+	return out
+}

@@ -24,6 +24,34 @@
 //
 // Mutators themselves are serialized by an internal lock; the training
 // encoder is never shared with readers.
+//
+// # ANN index lifecycle
+//
+// Snapshots whose candidate set reaches Config.ANN.MinIndexSize carry
+// an approximate-nearest-neighbor index (internal/ann: an IVF-style
+// clustered index over the RCS embeddings) and serve Recommend*,
+// DetectDrift, and NearestDistance through it; smaller sets keep the
+// exact bounded-heap scan, bit-for-bit identical to the unindexed
+// advisor. The index moves through four phases:
+//
+//   - Build: newSnapshot constructs it over the frozen embeddings (the
+//     bisecting k-means quantizer builds in parallel and is
+//     deterministic for equal inputs). The drift threshold of an
+//     indexed snapshot is estimated through the index over a bounded
+//     member sample instead of the O(n²) leave-one-out pair scan.
+//   - Append: when a mutation only extends the candidate set
+//     (OnlineAdapt, IncrementalLearn), the next publish clones the
+//     previous snapshot's index and appends the new embeddings to their
+//     nearest cells — no rebuild, no effect on readers of the old
+//     snapshot.
+//   - Rebuild: appended vectors slowly stale the quantizer (they were
+//     never clustered, and fine-tuning drifts old embeddings); once the
+//     appended share exceeds Config.ANN.RebuildFraction the publish
+//     rebuilds from scratch.
+//   - Persist: Save embeds the index (CRC-enveloped) in the advisor
+//     artifact and Load re-attaches it to the recomputed embeddings, so
+//     a served fleet never pays the build twice; corrupt index bytes
+//     fail the load loudly.
 package core
 
 import (
@@ -31,6 +59,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ann"
 	"repro/internal/feature"
 	"repro/internal/gnn"
 	"repro/internal/metrics"
@@ -84,6 +113,13 @@ type Config struct {
 	LR float64
 	// K is the number of KNN neighbors (paper's Table IV finds k=2 best).
 	K int
+	// ANN is the approximate-nearest-neighbor index policy for Stage 4:
+	// candidate sets of at least ANN.MinIndexSize entries are served
+	// through an IVF index built at snapshot time; smaller sets keep the
+	// exact heap scan bit-for-bit. The zero value resolves to the
+	// documented defaults (so older persisted configs gain the index
+	// transparently); set MinIndexSize negative to disable indexing.
+	ANN ann.Params
 	// WeightGrid lists the accuracy weights the encoder learns from; each
 	// batch samples one combination, covering the users' requirement
 	// space (Section IV-B2).
@@ -130,6 +166,12 @@ type Advisor struct {
 	// snap is the published serving snapshot; read methods Load it
 	// lock-free. Never nil once Train or Load returns.
 	snap atomic.Pointer[Snapshot]
+
+	// loadIndex is an ANN index decoded from a persisted artifact,
+	// consumed by the next publishLocked so a loaded advisor serves the
+	// saved index instead of paying a rebuild. Set only inside Load,
+	// before the advisor is shared.
+	loadIndex *ann.Index
 }
 
 // Serving returns the current serving snapshot: a consistent, immutable
@@ -141,8 +183,36 @@ func (a *Advisor) Serving() *Snapshot { return a.snap.Load() }
 // publishLocked freezes the training state into a fresh snapshot and
 // swaps it in. Callers hold mu (or exclusive ownership during
 // construction) and have refreshed the embedding cache.
+//
+// The previous snapshot's ANN index is carried forward whenever the new
+// candidate set extends the old one (the OnlineAdapt/IncrementalLearn
+// shape: same samples, possibly a few appended) — newSnapshot then
+// appends the tail to the posting lists instead of rebuilding, until
+// the appended share crosses the rebuild threshold. A Load-decoded
+// index takes precedence, once.
 func (a *Advisor) publishLocked() {
-	a.snap.Store(newSnapshot(a.cfg, a.enc, a.rcs, a.emb))
+	var prevIndex *ann.Index
+	if a.loadIndex != nil {
+		prevIndex, a.loadIndex = a.loadIndex, nil
+	} else if prev := a.snap.Load(); prev != nil && prev.index != nil && rcsExtends(a.rcs, prev.rcs) {
+		prevIndex = prev.index
+	}
+	a.snap.Store(newSnapshot(a.cfg, a.enc, a.rcs, a.emb, prevIndex))
+}
+
+// rcsExtends reports whether cur is old with zero or more samples
+// appended — the only mutation shape under which a previous snapshot's
+// index ids remain valid for the new one.
+func rcsExtends(cur, old []*Sample) bool {
+	if len(old) > len(cur) {
+		return false
+	}
+	for i := range old {
+		if cur[i] != old[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Encoder exposes the training-side GIN (for ablation baselines that reuse
@@ -150,10 +220,15 @@ func (a *Advisor) publishLocked() {
 // mutators; serving paths should embed through a Snapshot instead.
 func (a *Advisor) Encoder() *gnn.Encoder { return a.enc }
 
-// RCS returns the currently served recommendation candidate set.
+// NumSamples returns the size of the currently served candidate set.
+func (a *Advisor) NumSamples() int { return a.Serving().NumSamples() }
+
+// RCS returns a copy of the currently served recommendation candidate
+// set slice (O(n); see Snapshot.RCS).
 func (a *Advisor) RCS() []*Sample { return a.Serving().RCS() }
 
-// Embeddings returns the currently served RCS embeddings.
+// Embeddings returns a deep copy of the currently served RCS embeddings
+// (O(n·dim); see Snapshot.Embeddings).
 func (a *Advisor) Embeddings() [][]float64 { return a.Serving().Embeddings() }
 
 // refreshEmbeddings re-encodes the RCS into the training-side cache after

@@ -1,0 +1,133 @@
+package core
+
+// Scaling benchmarks for the indexed serving path. Each measures the
+// embedded recommendation hot path (kNN selection + neighbor scoring)
+// against synthetic RCS corpora from 10^3 to 10^6 entries, reporting
+// p50/p99 per-request latency ("p50-ns"/"p99-ns" via b.ReportMetric)
+// and a "HIST <name> <sparse>" histogram line — the same envelope
+// cmd/benchcheck parses and gates against ci/bench_baseline.json. The
+// exact-scan twins at 10^5 and 10^6 pin the headline claim: indexed
+// latency grows sublinearly while the exact scan grows linearly, so the
+// gap at 10^6 must stay an order of magnitude.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/datagen"
+	"repro/internal/latency"
+)
+
+const annBenchDim = 32
+
+// Fixture caches: generating and indexing 10^6 embeddings costs seconds,
+// so corpora and snapshots are built once per process and shared across
+// benchmarks and -count repetitions.
+var (
+	annBenchEmb   = map[int][][]float64{}
+	annBenchSnaps = map[string]*Snapshot{}
+)
+
+func annBenchEmbeddings(n int) [][]float64 {
+	if e, ok := annBenchEmb[n]; ok {
+		return e
+	}
+	e := datagen.SyntheticEmbeddings(n, annBenchDim, 64, 97)
+	annBenchEmb[n] = e
+	return e
+}
+
+// annBenchSnapshot fabricates a serving snapshot over n synthetic
+// embeddings. All entries share one labeled sample: recommendEmbedded
+// only reads Sa/Se, and sharing keeps the 10^6 fixture cheap.
+func annBenchSnapshot(b *testing.B, n int, indexed bool) *Snapshot {
+	b.Helper()
+	key := fmt.Sprintf("%d-%v", n, indexed)
+	if s, ok := annBenchSnaps[key]; ok {
+		return s
+	}
+	emb := annBenchEmbeddings(n)
+	shared := &Sample{
+		Name: "bench",
+		Sa:   []float64{0.9, 0.6, 0.3, 0.8, 0.5, 0.2, 0.7},
+		Se:   []float64{0.2, 0.7, 0.9, 0.3, 0.6, 0.8, 0.4},
+	}
+	s := &Snapshot{k: 10, rcs: make([]*Sample, n), emb: emb, driftThreshold: 1}
+	for i := range s.rcs {
+		s.rcs[i] = shared
+	}
+	if indexed {
+		s.index = ann.Build(emb, ann.Params{MinIndexSize: 1})
+		if s.index == nil {
+			b.Fatal("index build failed")
+		}
+	}
+	annBenchSnaps[key] = s
+	return s
+}
+
+// annBenchQueries derives query vectors from corpus points plus noise,
+// cycling 256 of them so repeated iterations do not serve one cache-hot
+// query.
+func annBenchQueries(emb [][]float64) [][]float64 {
+	rng := rand.New(rand.NewSource(131))
+	stride := len(emb) / 256
+	if stride < 1 {
+		stride = 1
+	}
+	var qs [][]float64
+	for i := 0; i < len(emb) && len(qs) < 256; i += stride {
+		q := make([]float64, len(emb[i]))
+		for f := range q {
+			q[f] = emb[i][f] + rng.NormFloat64()*0.3
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+func benchRecommendEmbedded(b *testing.B, n int, indexed bool) {
+	s := annBenchSnapshot(b, n, indexed)
+	qs := annBenchQueries(s.emb)
+	var h latency.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		t0 := time.Now()
+		if s.recommendEmbedded(q, 0.9, 10, nil).Model < 0 {
+			b.Fatal("no recommendation")
+		}
+		h.Record(time.Since(t0))
+	}
+	b.StopTimer()
+	if h.Count() > 0 {
+		quant := h.Quantiles(0.50, 0.99)
+		b.ReportMetric(float64(quant[0]), "p50-ns")
+		b.ReportMetric(float64(quant[1]), "p99-ns")
+		fmt.Printf("HIST %s %s\n", b.Name(), h.Sparse())
+	}
+}
+
+func BenchmarkRecommendIndexed1k(b *testing.B)   { benchRecommendEmbedded(b, 1_000, true) }
+func BenchmarkRecommendIndexed100k(b *testing.B) { benchRecommendEmbedded(b, 100_000, true) }
+func BenchmarkRecommendIndexed1M(b *testing.B)   { benchRecommendEmbedded(b, 1_000_000, true) }
+func BenchmarkRecommendExact100k(b *testing.B)   { benchRecommendEmbedded(b, 100_000, false) }
+func BenchmarkRecommendExact1M(b *testing.B)     { benchRecommendEmbedded(b, 1_000_000, false) }
+
+// BenchmarkSnapshotIndexBuild measures the bisecting-quantizer build
+// over a 10^5 corpus — the cost every snapshot publish pays when the
+// carried index is too stale to extend.
+func BenchmarkSnapshotIndexBuild(b *testing.B) {
+	emb := annBenchEmbeddings(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ann.Build(emb, ann.Params{MinIndexSize: 1}) == nil {
+			b.Fatal("build failed")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/ann"
 	"repro/internal/feature"
 )
 
@@ -92,29 +93,20 @@ func (a *Advisor) IncrementalLearn(cfg ILConfig) ILReport {
 	// Neighbors with the same vertex (table) count are preferred: a convex
 	// combination of graphs with different table counts zero-pads the
 	// missing vertices, which lands off the feature manifold and degrades
-	// rather than augments the training pool.
+	// rather than augments the training pool. The lookup routes through
+	// the serving snapshot's ANN index when one exists (the exact scan is
+	// O(feedback × reference), quadratic over a large corpus); below
+	// MinIndexSize the exact single-pass scan keeps today's results
+	// bit-for-bit.
 	var synthesized []*Sample
 	if cfg.Augment && len(reference) > 0 {
+		ix := a.trainingIndex()
+		refSet := make(map[int]bool, len(reference))
+		for _, ri := range reference {
+			refSet[ri] = true
+		}
 		for _, fi := range feedback {
-			best, bestD := -1, math.Inf(1)
-			n := a.rcs[fi].Graph.NumVertices()
-			for _, ri := range reference {
-				if a.rcs[ri].Graph.NumVertices() != n {
-					continue
-				}
-				d := euclid(a.emb[fi], a.emb[ri])
-				if d < bestD {
-					best, bestD = ri, d
-				}
-			}
-			if best == -1 { // no same-shape reference: fall back to any
-				for _, ri := range reference {
-					d := euclid(a.emb[fi], a.emb[ri])
-					if d < bestD {
-						best, bestD = ri, d
-					}
-				}
-			}
+			best := a.nearestReference(ix, refSet, fi, reference)
 			lambda := betaSample(rng, cfg.Alpha, cfg.Beta)
 			g := feature.Mixup(a.rcs[fi].Graph, a.rcs[best].Graph, lambda)
 			synthesized = append(synthesized, &Sample{
@@ -141,6 +133,57 @@ func (a *Advisor) IncrementalLearn(cfg ILConfig) ILReport {
 	a.refreshEmbeddings()
 	a.publishLocked()
 	return report
+}
+
+// trainingIndex returns the published snapshot's ANN index when it
+// covers the advisor's current training embeddings, nil otherwise. Every
+// mutator ends by publishing, so at mutator entry the snapshot mirrors
+// training state; the length guard keeps a stale index from serving ids
+// that do not exist in a.rcs.
+func (a *Advisor) trainingIndex() *ann.Index {
+	snap := a.snap.Load()
+	if snap == nil || snap.index == nil || len(snap.emb) != len(a.emb) {
+		return nil
+	}
+	return snap.index
+}
+
+// nearestReference finds the reference sample nearest to feedback sample
+// fi, preferring references with the same vertex (table) count. The
+// indexed path asks the ANN index first and falls back to the exact scan
+// when the probed cells hold no eligible reference; the exact path
+// collapses the historical two-pass scan into one (identical results:
+// the old fallback pass started from the same +Inf bound the first pass
+// left untouched).
+func (a *Advisor) nearestReference(ix *ann.Index, refSet map[int]bool, fi int, reference []int) int {
+	nv := a.rcs[fi].Graph.NumVertices()
+	if ix != nil {
+		if nbrs := ix.SearchFiltered(a.emb[fi], 1, func(j int) bool {
+			return refSet[j] && a.rcs[j].Graph.NumVertices() == nv
+		}); len(nbrs) > 0 {
+			return nbrs[0].Idx
+		}
+		if nbrs := ix.SearchFiltered(a.emb[fi], 1, func(j int) bool {
+			return refSet[j]
+		}); len(nbrs) > 0 {
+			return nbrs[0].Idx
+		}
+	}
+	bestSame, bestSameD := -1, math.Inf(1)
+	bestAny, bestAnyD := -1, math.Inf(1)
+	for _, ri := range reference {
+		d := euclid(a.emb[fi], a.emb[ri])
+		if d < bestAnyD {
+			bestAny, bestAnyD = ri, d
+		}
+		if d < bestSameD && a.rcs[ri].Graph.NumVertices() == nv {
+			bestSame, bestSameD = ri, d
+		}
+	}
+	if bestSame >= 0 {
+		return bestSame
+	}
+	return bestAny
 }
 
 func euclid(a, b []float64) float64 {

@@ -6,17 +6,21 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/ann"
 	"repro/internal/feature"
 	"repro/internal/gnn"
 )
 
 // advisorState is the gob-serializable form of a trained Advisor: the
 // configuration, the encoder weights, and the recommendation candidate set
-// with labels. Embeddings are recomputed on load (they are derived state).
+// with labels. Embeddings are recomputed on load (they are derived state);
+// the ANN index is persisted as its own self-checking envelope so a large
+// RCS does not pay the index rebuild on startup.
 type advisorState struct {
-	Cfg     Config
-	Encoder gnn.State
-	Samples []sampleState
+	Cfg      Config
+	Encoder  gnn.State
+	Samples  []sampleState
+	ANNIndex []byte
 }
 
 type sampleState struct {
@@ -37,6 +41,13 @@ func (a *Advisor) Save(w io.Writer) error {
 		st.Samples = append(st.Samples, sampleState{
 			Name: s.Name, Graph: s.Graph, Sa: s.Sa, Se: s.Se,
 		})
+	}
+	if snap.index != nil {
+		blob, err := snap.index.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("core: encoding ann index: %w", err)
+		}
+		st.ANNIndex = blob
 	}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: encoding advisor: %w", err)
@@ -76,6 +87,19 @@ func Load(r io.Reader) (*Advisor, error) {
 		return nil, fmt.Errorf("core: loaded advisor has an empty candidate set")
 	}
 	a.refreshEmbeddings()
+	if len(st.ANNIndex) > 0 {
+		ix, err := ann.Unmarshal(st.ANNIndex)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding ann index: %w", err)
+		}
+		// Strict re-bind against the recomputed embeddings: a count or
+		// dimensionality mismatch means the artifact is internally
+		// inconsistent, and a silently rebuilt index would mask it.
+		if err := ix.Attach(a.emb); err != nil {
+			return nil, fmt.Errorf("core: binding ann index: %w", err)
+		}
+		a.loadIndex = ix
+	}
 	a.publishLocked()
 	return a, nil
 }

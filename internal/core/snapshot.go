@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ann"
 	"repro/internal/feature"
 	"repro/internal/gnn"
 	"repro/internal/metrics"
@@ -14,20 +15,26 @@ import (
 
 // Snapshot is an immutable serving view of a trained advisor: a frozen
 // copy of the encoder parameters, the recommendation candidate set, its
-// embeddings, and the precomputed drift threshold. Every field is fixed at
-// construction, so any number of goroutines can call the read methods
-// without synchronization while the owning advisor keeps training. The
-// slices returned by accessors are the snapshot's own — callers must not
-// mutate them.
+// embeddings, the ANN index over them (when the set is large enough to
+// deserve one), and the precomputed drift threshold. Every field is
+// fixed at construction, so any number of goroutines can call the read
+// methods without synchronization while the owning advisor keeps
+// training.
 type Snapshot struct {
 	k   int
 	enc *gnn.Encoder
 	rcs []*Sample
 	emb [][]float64
 
+	// index accelerates kNN over emb for candidate sets of at least
+	// cfg.ANN.MinIndexSize entries; nil below that, where the exact heap
+	// scan is both faster and bit-stable. See the package documentation
+	// for the build/extend/rebuild/persist lifecycle.
+	index *ann.Index
+
 	// driftThreshold is the 90th-percentile leave-one-out nearest
 	// distance over the RCS (Section V-E), precomputed so drift reads
-	// are pure.
+	// are pure. Indexed snapshots estimate it over a bounded sample.
 	driftThreshold float64
 }
 
@@ -38,7 +45,13 @@ type Snapshot struct {
 // parameter roundtrip, so re-embedding would reproduce it bit-for-bit);
 // the rows are deep-copied into the snapshot, and recomputed with the
 // frozen encoder only if the cache does not cover the RCS.
-func newSnapshot(cfg Config, enc *gnn.Encoder, rcs []*Sample, emb [][]float64) *Snapshot {
+//
+// prevIndex, when non-nil, is an index whose ids refer to a prefix of
+// rcs (the previous snapshot's, or one decoded from an artifact): the
+// new snapshot extends it with the appended tail instead of rebuilding,
+// unless the appended share has crossed cfg.ANN.RebuildFraction — then
+// the quantizer is rebuilt from scratch over the full set.
+func newSnapshot(cfg Config, enc *gnn.Encoder, rcs []*Sample, emb [][]float64, prevIndex *ann.Index) *Snapshot {
 	frozen, err := gnn.FromState(enc.State())
 	if err != nil {
 		// State() of a live encoder always matches its own architecture.
@@ -57,7 +70,21 @@ func newSnapshot(cfg Config, enc *gnn.Encoder, rcs []*Sample, emb [][]float64) *
 			s.emb[i] = frozen.Embed(smp.Graph)
 		}
 	}
-	s.driftThreshold = driftThresholdOf(s.emb)
+	if cfg.ANN.Indexable(len(s.emb)) {
+		if prevIndex != nil {
+			// Extend refuses (nil) on shape mismatch or staleness past
+			// RebuildFraction; either way the build below recovers.
+			s.index = prevIndex.Extend(s.emb)
+		}
+		if s.index == nil {
+			s.index = ann.Build(s.emb, cfg.ANN)
+		}
+	}
+	if s.index != nil {
+		s.driftThreshold = driftThresholdIndexed(s.index, s.emb)
+	} else {
+		s.driftThreshold = driftThresholdOf(s.emb)
+	}
 	return s
 }
 
@@ -68,11 +95,38 @@ func (s *Snapshot) K() int { return s.k }
 // with a different dimension cannot be embedded.
 func (s *Snapshot) InDim() int { return s.enc.InDim() }
 
-// RCS returns the snapshot's recommendation candidate set.
-func (s *Snapshot) RCS() []*Sample { return s.rcs }
+// NumSamples returns the size of the recommendation candidate set.
+func (s *Snapshot) NumSamples() int { return len(s.rcs) }
 
-// Embeddings returns the snapshot's RCS embeddings.
-func (s *Snapshot) Embeddings() [][]float64 { return s.emb }
+// SampleAt returns the i-th RCS member. Hot paths use it instead of
+// RCS() to avoid the defensive copy.
+func (s *Snapshot) SampleAt(i int) *Sample { return s.rcs[i] }
+
+// EmbeddingAt returns a copy of the i-th RCS embedding.
+func (s *Snapshot) EmbeddingAt(i int) []float64 {
+	return append([]float64(nil), s.emb[i]...)
+}
+
+// RCS returns a copy of the snapshot's recommendation candidate set
+// slice — reordering or truncating it cannot corrupt the snapshot or
+// its index. The copy is O(n); prefer NumSamples/SampleAt on hot paths.
+func (s *Snapshot) RCS() []*Sample { return append([]*Sample(nil), s.rcs...) }
+
+// Embeddings returns a deep copy of the snapshot's RCS embeddings: the
+// index searches the snapshot's own rows, which must stay immutable, so
+// callers get rows they may scribble on. The copy is O(n·dim); prefer
+// EmbeddingAt for single rows.
+func (s *Snapshot) Embeddings() [][]float64 {
+	out := make([][]float64, len(s.emb))
+	for i, e := range s.emb {
+		out[i] = append([]float64(nil), e...)
+	}
+	return out
+}
+
+// Indexed reports whether this snapshot serves kNN through an ANN
+// index rather than the exact heap scan.
+func (s *Snapshot) Indexed() bool { return s.index != nil }
 
 // DriftThreshold returns the precomputed online-adapting distance
 // threshold.
@@ -94,7 +148,30 @@ func (s *Snapshot) RecommendK(g *feature.Graph, wa float64, k int) Recommendatio
 }
 
 func (s *Snapshot) recommendEmbedded(x []float64, wa float64, k int, skip map[int]bool) Recommendation {
-	return scoreNeighbors(s.rcs, nearestIndexes(s.emb, x, k, skip), wa)
+	return scoreNeighbors(s.rcs, s.nearest(x, k, skip), wa)
+}
+
+// nearest routes k-selection through the ANN index when one exists,
+// falling back to the exact bounded-heap scan below MinIndexSize, when
+// a skip set is in play (cross-validation wants exact leave-fold-out
+// semantics), or in the rare case the probed cells hold fewer than k
+// candidates. Both paths order results by (distance, RCS index), so the
+// exact path is bit-identical to the unindexed advisor.
+func (s *Snapshot) nearest(x []float64, k int, skip map[int]bool) []int {
+	if s.index != nil && skip == nil {
+		want := k
+		if want > len(s.emb) {
+			want = len(s.emb)
+		}
+		if nbrs := s.index.Search(x, k); len(nbrs) >= want {
+			out := make([]int, len(nbrs))
+			for i, nb := range nbrs {
+				out[i] = nb.Idx
+			}
+			return out
+		}
+	}
+	return nearestIndexes(s.emb, x, k, skip)
 }
 
 // RecommendBatch recommends a model for every graph against this one
@@ -140,6 +217,11 @@ func (s *Snapshot) RecommendBatch(gs []*feature.Graph, wa float64) []Recommendat
 // RCS member.
 func (s *Snapshot) NearestDistance(g *feature.Graph) float64 {
 	x := s.enc.Embed(g)
+	if s.index != nil {
+		if nbrs := s.index.Search(x, 1); len(nbrs) == 1 {
+			return nbrs[0].Dist
+		}
+	}
 	best := math.Inf(1)
 	for _, e := range s.emb {
 		if d := metrics.EuclideanDistance(x, e); d < best {
@@ -280,6 +362,72 @@ func scoreNeighbors(rcs []*Sample, nbrs []int, wa float64) Recommendation {
 		avg[j] /= float64(len(nbrs))
 	}
 	return Recommendation{Model: metrics.ArgMax(avg), Scores: avg, Neighbors: nbrs}
+}
+
+// driftSampleCap bounds how many RCS members an indexed snapshot probes
+// for its drift threshold: the threshold is a 90th-percentile estimate,
+// and a strided sample of a few thousand leave-one-out distances pins it
+// tightly without the O(n²) pair scan the exact path pays.
+const driftSampleCap = 2048
+
+// driftThresholdIndexed estimates the drift threshold through the ANN
+// index: a deterministic strided sample of members, each asking the
+// index for its nearest other member, fanned over the worker pool
+// (every sample position writes only its own slot, so the result is
+// schedule-independent). A member whose probed cells are empty after
+// filtering itself out — possible only under pathological filtering —
+// falls back to its exact leave-one-out scan.
+func driftThresholdIndexed(ix *ann.Index, emb [][]float64) float64 {
+	n := len(emb)
+	step := 1
+	if n > driftSampleCap {
+		step = n / driftSampleCap
+	}
+	var sample []int
+	for i := 0; i < n; i += step {
+		sample = append(sample, i)
+	}
+	dists := make([]float64, len(sample))
+	workers := runtime.NumCPU()
+	if workers > len(sample) {
+		workers = len(sample)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(next.Add(1)) - 1
+				if pos >= len(sample) {
+					return
+				}
+				i := sample[pos]
+				if nbrs := ix.SearchFiltered(emb[i], 1, func(j int) bool { return j != i }); len(nbrs) == 1 {
+					dists[pos] = nbrs[0].Dist
+				} else {
+					dists[pos] = looNearest(emb, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return metrics.Percentile(dists, 90)
+}
+
+// looNearest is one member's exact leave-one-out nearest distance.
+func looNearest(emb [][]float64, i int) float64 {
+	best := math.Inf(1)
+	for j, o := range emb {
+		if i == j {
+			continue
+		}
+		if d := metrics.EuclideanDistance(emb[i], o); d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // driftThresholdOf computes the 90th percentile of each embedding's

@@ -305,3 +305,39 @@ func TestSplitDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestSyntheticEmbeddingsShapeAndDeterminism(t *testing.T) {
+	a := SyntheticEmbeddings(500, 16, 8, 3)
+	b := SyntheticEmbeddings(500, 16, 8, 3)
+	if len(a) != 500 {
+		t.Fatalf("got %d vectors, want 500", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != 16 {
+			t.Fatalf("vector %d has dim %d, want 16", i, len(a[i]))
+		}
+		for f := range a[i] {
+			if a[i][f] != b[i][f] {
+				t.Fatal("same seed produced different embeddings")
+			}
+		}
+	}
+	if c := SyntheticEmbeddings(100, 4, 8, 4); len(c) != 100 {
+		t.Fatalf("got %d vectors, want 100", len(c))
+	}
+	// Clustered structure: the spread across cluster centers (sigma 6)
+	// dwarfs within-cluster noise (sigma 1), so the corpus variance must
+	// clearly exceed the isotropic unit variance.
+	var mean, sq float64
+	for _, v := range a {
+		mean += v[0]
+	}
+	mean /= float64(len(a))
+	for _, v := range a {
+		d := v[0] - mean
+		sq += d * d
+	}
+	if variance := sq / float64(len(a)); variance < 4 {
+		t.Fatalf("corpus variance %.2f looks isotropic, want clustered spread", variance)
+	}
+}
